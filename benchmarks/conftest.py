@@ -1,0 +1,44 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one table/figure via
+:mod:`repro.experiments.figures`, asserts the paper's *shape* criteria,
+and records a paper-vs-measured row that is printed in the terminal
+summary (and lands in ``bench_output.txt`` when run under ``tee``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+#: (experiment, quantity, paper, measured) rows collected during the run.
+COMPARISON_ROWS: List[tuple] = []
+
+
+def record(experiment: str, quantity: str, paper: str, measured: str) -> None:
+    COMPARISON_ROWS.append((experiment, quantity, paper, str(measured)))
+
+
+@pytest.fixture(scope="session")
+def settings():
+    from repro.experiments import ExperimentSettings
+
+    return ExperimentSettings()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not COMPARISON_ROWS:
+        return
+    terminalreporter.write_sep("=", "paper vs measured")
+    widths = [
+        max(len(str(row[i])) for row in COMPARISON_ROWS + [HEADER])
+        for i in range(4)
+    ]
+    for row in [HEADER] + COMPARISON_ROWS:
+        terminalreporter.write_line(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+
+
+HEADER = ("experiment", "quantity", "paper", "measured")

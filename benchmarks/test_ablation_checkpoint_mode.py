@@ -1,0 +1,59 @@
+"""Ablation: incremental vs full-snapshot checkpoints.
+
+The paper's platform uses RocksDB precisely because it supports
+*incremental* backup (§1) — the related-work canonical mitigation [8].
+This ablation quantifies what that choice buys on our benchmark: a
+full-snapshot backend serializes the entire keyed state every
+checkpoint, inflating every flush phase and with it every ShadowSync
+window.
+"""
+
+from repro.config import CheckpointConfig, ClusterConfig, CostModel
+from repro.stream import ConstantSource, StageSpec, StreamJob
+
+from conftest import record
+
+
+def run_mode(settings, incremental):
+    job = StreamJob(
+        stages=[
+            StageSpec("s0", parallelism=64, state_entry_bytes=1000.0,
+                      distinct_keys=60000, selectivity=1.0),
+            StageSpec("s1", parallelism=64, state_entry_bytes=2500.0,
+                      distinct_keys=10000, selectivity=0.01),
+        ],
+        source=ConstantSource(60000.0),
+        cluster=ClusterConfig(num_nodes=4, cores_per_node=16),
+        checkpoint=CheckpointConfig(interval_s=8.0, first_at_s=8.0,
+                                    incremental=incremental),
+        seed=settings.seed,
+    )
+    return job.run(settings.duration_s)
+
+
+def test_incremental_checkpoints_matter(benchmark, settings):
+    def experiment():
+        inc = run_mode(settings, incremental=True)
+        full = run_mode(settings, incremental=False)
+        return inc, full
+
+    inc, full = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    inc_tail = inc.tail_summary(start=settings.warmup_s)
+    full_tail = full.tail_summary(start=settings.warmup_s)
+    inc_bytes = sum(r.bytes for r in inc.coordinator.completed) / 1e9
+    full_bytes = sum(r.bytes for r in full.coordinator.completed) / 1e9
+    record("Ablation E", "p99.9 incremental vs full snapshot [s]",
+           "(why [8] is canonical)",
+           f"{inc_tail['p999']:.2f} vs {full_tail['p999']:.2f}")
+    record("Ablation E", "checkpoint volume incremental vs full [GB]",
+           "(not in paper)", f"{inc_bytes:.1f} vs {full_bytes:.1f}")
+
+    # the tail only worsens modestly here (compaction bursts, which full
+    # snapshots do not change, still dominate), but the checkpoint
+    # volume explodes — the cost [8] exists to avoid
+    assert full_tail["p999"] > inc_tail["p999"]
+    assert full_bytes > 2.5 * inc_bytes
+    # ... and yet ShadowSync exists even with incremental checkpoints —
+    # the paper's whole point (§7: "the periodic overlapped mode still
+    # exists")
+    assert inc_tail["p999"] > 1.5

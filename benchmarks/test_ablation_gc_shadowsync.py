@@ -1,0 +1,46 @@
+"""Ablation: other ShadowSync sources (§6 — the paper's future work).
+
+The discussion section argues that JVM GC pauses and DVFS throttling
+are further asynchronous events prone to overlapping with checkpoints.
+This ablation injects GC pauses into the *mitigated* traffic job and
+shows that (a) they create a new latency tail the LSM mitigations do
+not address, and (b) the tail grows when the pauses correlate with
+checkpoints — hidden synchronization again.
+"""
+
+from repro.apps import build_traffic_job
+from repro.core import MitigationPlan
+from repro.sim import GcPauseInjector
+
+from conftest import record
+
+
+def run_with_gc(settings, gc=None):
+    job = build_traffic_job(
+        checkpoint_interval_s=8.0,
+        initial_l0="aligned",
+        seed=settings.seed,
+        mitigation=MitigationPlan.paper_solution(),
+    )
+    if gc is not None:
+        for node in job.nodes:
+            gc.install(job.sim, node.cpu)
+        job.coordinator.on_trigger.append(gc.note_checkpoint)
+    return job.run(settings.duration_s).tail_summary(start=settings.warmup_s)
+
+
+def test_gc_pauses_reintroduce_tail(benchmark, settings):
+    def experiment():
+        quiet = run_with_gc(settings, None)
+        uncorrelated = run_with_gc(
+            settings,
+            GcPauseInjector(interval_s=17.3, pause_s=0.35, jitter=0.3),
+        )
+        return quiet, uncorrelated
+
+    quiet, with_gc = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("Ablation C", "mitigated p99.9 without/with GC [s]",
+           "(§6, future work)", f"{quiet['p999']:.2f} / {with_gc['p999']:.2f}")
+    # GC pauses create a tail the LSM mitigations cannot remove
+    assert with_gc["p999"] > 1.2 * quiet["p999"]
+    assert with_gc["max"] > quiet["max"]

@@ -1,0 +1,28 @@
+"""Figure 12: compaction-delay sweep.
+
+Paper: 1000 ms (≈ the measured drain-out time T of Eq. 2) achieves the
+lowest tail, performance is flat to 3000 ms, and 8000 ms — the
+checkpoint interval — regresses because the delayed compactions collide
+with the *next* checkpoint's flushes.
+"""
+
+from repro.experiments import fig12_delay_sweep
+
+from conftest import record
+
+
+def test_fig12(benchmark, settings):
+    out = benchmark.pedantic(
+        fig12_delay_sweep, args=(), kwargs={"settings": settings},
+        rounds=1, iterations=1,
+    )
+    rows = {r["delay_s"]: r["p999"] for r in out["rows"]}
+    record("Fig 12", "best delay [ms]", "1000-3000",
+           f"{out['best_delay_s'] * 1000:.0f}")
+    record("Fig 12", "p99.9 at 0.1/1.0/8.0 s delay", "high/low/high",
+           f"{rows[0.1]:.2f}/{rows[1.0]:.2f}/{rows[8.0]:.2f}")
+
+    assert 0.5 <= out["best_delay_s"] <= 3.0
+    assert rows[1.0] < rows[0.1]          # too-short delay is worse
+    assert rows[1.0] < rows[8.0]          # wrap-around delay is worse
+    assert rows[3.0] < 1.25 * rows[1.0]   # flat plateau through 3000 ms

@@ -1,0 +1,27 @@
+"""Figure 13: flush-thread-pool sweep.
+
+Paper: the best allocation equals the CPU core count (16); severe
+under-allocation serializes the stop-the-world phase (catastrophic at
+1 thread), and over-allocation (64 = 4x cores) pays locking overhead.
+"""
+
+from repro.experiments import fig13_flush_thread_sweep
+
+from conftest import record
+
+
+def test_fig13(benchmark, settings):
+    out = benchmark.pedantic(
+        fig13_flush_thread_sweep, args=(), kwargs={"settings": settings},
+        rounds=1, iterations=1,
+    )
+    rows = {r["flush_threads"]: r["p999"] for r in out["rows"]}
+    record("Fig 13", "best flush threads", "16 (= cores)",
+           str(out["best_flush_threads"]))
+    record("Fig 13", "p99.9 at 1/16/64 threads", "catastrophic/best/worse",
+           f"{rows[1]:.2f}/{rows[16]:.2f}/{rows[64]:.2f}")
+
+    assert rows[1] > 5.0 * rows[16]       # 1 thread is catastrophic
+    assert rows[4] > rows[16]             # under-allocation hurts
+    assert rows[64] > rows[16]            # over-allocation hurts
+    assert 8 <= out["best_flush_threads"] <= 32  # knee at ~cores

@@ -1,0 +1,27 @@
+"""Figure 14: compaction-thread-pool sweep.
+
+Paper: 4 threads is best on a 16-core node at ~75 % utilization; the
+tail at 1 thread reaches minutes (compaction cannot keep up — L0 write
+stalls), and 8/16 threads recreate the full CPU contention.
+"""
+
+from repro.experiments import fig14_compaction_thread_sweep
+
+from conftest import record
+
+
+def test_fig14(benchmark, settings):
+    out = benchmark.pedantic(
+        fig14_compaction_thread_sweep, args=(), kwargs={"settings": settings},
+        rounds=1, iterations=1,
+    )
+    rows = {r["compaction_threads"]: r["p999"] for r in out["rows"]}
+    record("Fig 14", "best compaction threads", "4",
+           str(out["best_compaction_threads"]))
+    record("Fig 14", "p99.9 at 1/4/16 threads", "minutes/best/high",
+           f"{rows[1]:.1f}/{rows[4]:.2f}/{rows[16]:.2f}")
+
+    assert rows[1] > 4.0                   # divergent (grows with run length)
+    assert rows[16] > 2.5 * rows[4]        # default 16 is far worse than 4
+    assert rows[8] > rows[4]               # past the knee
+    assert out["best_compaction_threads"] in (2, 4)

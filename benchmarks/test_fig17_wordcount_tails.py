@@ -1,0 +1,22 @@
+"""Figure 17: WordCount tails, baseline vs solution.
+
+Paper: baseline p99.9 ≈ 1.3 s, solution ≈ 0.7 s on a single 16-core
+Kafka Streams node at ~70 % CPU.
+"""
+
+from repro.experiments import fig17_wordcount_tails
+
+from conftest import record
+
+
+def test_fig17(benchmark, settings):
+    out = benchmark.pedantic(
+        fig17_wordcount_tails, args=(settings,), rounds=1, iterations=1
+    )
+    base = out["baseline"]["tails"]["p999"]
+    sol = out["solution"]["tails"]["p999"]
+    record("Fig 17", "p99.9 baseline [s]", "1.3", f"{base:.2f}")
+    record("Fig 17", "p99.9 solution [s]", "0.7", f"{sol:.2f}")
+    assert 0.9 <= base <= 1.8
+    assert sol < 0.75 * base
+    assert sol < 0.9

@@ -1,0 +1,25 @@
+"""Figure 19: traffic job on NVMe SSDs.
+
+Paper: the statistical ShadowSync persists when SSTables live on NVMe
+(baseline p99.9 up to 2.3 s), and the mitigations remain effective.
+Known deviation (see EXPERIMENTS.md): our device model staggers the
+burst slightly, so the NVMe baseline lands *near* the tmpfs baseline
+instead of strictly above it.
+"""
+
+from repro.experiments import fig19_traffic_nvme
+
+from conftest import record
+
+
+def test_fig19(benchmark, settings):
+    out = benchmark.pedantic(
+        fig19_traffic_nvme, args=(settings,), rounds=1, iterations=1
+    )
+    base = out["baseline"]["tails"]["p999"]
+    sol = out["solution"]["tails"]["p999"]
+    record("Fig 19", "NVMe p99.9 baseline [s]", "2.3", f"{base:.2f}")
+    record("Fig 19", "NVMe p99.9 solution [s]", "<0.5x baseline", f"{sol:.2f}")
+    assert base > 1.4                         # multi-second-class tail persists
+    assert sol < 0.6 * base                   # mitigation still works on SSD
+    assert out["reduction_p95"] < 0.6

@@ -1,0 +1,28 @@
+"""Figures 1 & 3: periodic latency spikes on the unmitigated system.
+
+Paper: a 0.2–0.4 s latency floor with >1 s spikes recurring every 32 s
+(the LCM of the per-stage flush and compaction periods), three spikes
+in the 150–220 s window alternating between stages.
+"""
+
+import pytest
+
+from repro.experiments import fig1_fig3_baseline_timeline
+
+from conftest import record
+
+
+def test_fig1_fig3(benchmark, settings):
+    out = benchmark.pedantic(
+        fig1_fig3_baseline_timeline, args=(settings,), rounds=1, iterations=1
+    )
+    record("Fig 1/3", "latency floor [s]", "0.2-0.4", f"{out['floor_s']:.2f}")
+    record("Fig 1/3", "spike period [s]", "32", f"{out['spike_period_s']:.0f}")
+    peaks = [p for _t, p in out["spikes"]]
+    record("Fig 1/3", "spike peaks [s]", ">1",
+           f"{min(peaks):.2f}-{max(peaks):.2f}")
+
+    assert 0.15 <= out["floor_s"] <= 0.5
+    assert out["spike_period_s"] == pytest.approx(32.0, abs=3.0)
+    assert len(out["spikes"]) >= 3
+    assert max(peaks) > 1.0

@@ -1,0 +1,25 @@
+"""Figure 20: WordCount on NVMe SSDs.
+
+Paper: the NVMe baseline is worse than the tmpfs baseline (flush I/O is
+no longer free), and the mitigations still remove the ShadowSync
+spikes.
+"""
+
+from repro.experiments import fig17_wordcount_tails, fig20_wordcount_nvme
+
+from conftest import record
+
+
+def test_fig20(benchmark, settings):
+    out = benchmark.pedantic(
+        fig20_wordcount_nvme, args=(settings,), rounds=1, iterations=1
+    )
+    tmpfs = fig17_wordcount_tails(settings)
+    nvme_base = out["baseline"]["tails"]["p999"]
+    tmpfs_base = tmpfs["baseline"]["tails"]["p999"]
+    sol = out["solution"]["tails"]["p999"]
+    record("Fig 20", "NVMe vs tmpfs baseline p99.9 [s]", "worse on NVMe",
+           f"{nvme_base:.2f} vs {tmpfs_base:.2f}")
+    record("Fig 20", "NVMe p99.9 solution [s]", "improved", f"{sol:.2f}")
+    assert nvme_base > tmpfs_base             # I/O makes it worse
+    assert sol < 0.7 * nvme_base              # mitigation still works

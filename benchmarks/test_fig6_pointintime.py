@@ -1,0 +1,39 @@
+"""Figure 6: point-in-time analysis — CPU saturation, message queues and
+flush/compaction concurrency co-occur at the latency spikes.
+
+Paper: worker CPU hits 100 % exactly when flush and compaction
+concurrency spike together, producing the queue build-ups behind the
+three latency spikes.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6_point_in_time
+
+from conftest import record
+
+
+def test_fig6(benchmark, settings):
+    out = benchmark.pedantic(
+        fig6_point_in_time, args=(settings,), rounds=1, iterations=1
+    )
+    assert out["spikes"], "no latency spikes detected"
+    saturated = out["cpu_saturated_fraction_at_spikes"]
+    record("Fig 6", "CPU ~100% at spikes", "yes",
+           f"{sum(1 for f in saturated if f > 0.15)}/{len(saturated)} spikes")
+    assert all(fraction > 0.1 for fraction in saturated)
+
+    comp_t, comp = out["compaction_concurrency"]
+    comp = np.asarray(comp)
+    comp_t = np.asarray(comp_t)
+    record("Fig 6", "peak compaction concurrency", "64", f"{comp.max():.0f}")
+    assert comp.max() >= 64
+
+    queues_t, q0, q1 = out["queues"]
+    q0 = np.asarray(q0)
+    queues_t = np.asarray(queues_t)
+    for spike_time, _peak in out["spikes"]:
+        window = (queues_t >= spike_time - 3.0) & (queues_t <= spike_time + 3.0)
+        assert q0[window].max() > 10 * max(np.median(q0), 1.0), (
+            "no queue build-up at spike"
+        )

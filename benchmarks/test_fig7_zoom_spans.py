@@ -1,0 +1,30 @@
+"""Figure 7: zoom into one burst — flushes are short and numerous,
+compactions long-lived.
+
+Paper: 128 flush segments finish fast (stop-the-world, in-memory) while
+the 64 compaction segments last much longer because 16 compaction
+threads chew through them while contending for CPU.
+"""
+
+from repro.experiments import fig7_zoom_spans
+
+from conftest import record
+
+
+def test_fig7(benchmark, settings):
+    out = benchmark.pedantic(
+        fig7_zoom_spans, args=(settings,), rounds=1, iterations=1
+    )
+    n_flush = len(out["flush_spans"])
+    n_comp = len(out["compaction_spans"])
+    record("Fig 7", "flush spans in window", "128(+1)", str(n_flush))
+    record("Fig 7", "compaction spans in window", "64", str(n_comp))
+    record(
+        "Fig 7",
+        "mean durations flush vs compaction [s]",
+        "flush << compaction",
+        f"{out['mean_flush_s']:.2f} vs {out['mean_compaction_s']:.2f}",
+    )
+    assert n_flush >= 128
+    assert n_comp >= 64
+    assert out["mean_compaction_s"] > 3.0 * out["mean_flush_s"]

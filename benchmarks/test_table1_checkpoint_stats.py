@@ -1,0 +1,48 @@
+"""Table 1: per-checkpoint flush/compaction statistics.
+
+Paper (150–220 s window, five checkpoints): 64-ish flushes per stage per
+checkpoint; compaction bursts of exactly 64 hitting s1 at the 1st and
+5th checkpoint and s0 at the 3rd; total compaction input of hundreds of
+MB per burst.
+"""
+
+from repro.experiments import table1_checkpoint_stats
+
+from conftest import record
+
+
+def test_table1(benchmark, settings):
+    out = benchmark.pedantic(
+        table1_checkpoint_stats, args=(settings,), rounds=1, iterations=1
+    )
+    rows = out["rows"]
+    assert len(rows) == 5
+
+    burst_pattern = []
+    for row in rows:
+        s0 = row["compaction_count"].get("s0", 0)
+        s1 = row["compaction_count"].get("s1", 0)
+        if s0 >= 32:
+            burst_pattern.append("s0")
+        elif s1 >= 32:
+            burst_pattern.append("s1")
+        else:
+            burst_pattern.append("-")
+    record("Table 1", "burst pattern over 5 CPs", "s1,-,s0,-,s1",
+           ",".join(burst_pattern))
+    assert burst_pattern == ["s1", "-", "s0", "-", "s1"]
+
+    for row in rows:
+        for stage in ("s0", "s1"):
+            assert row["flush_count"].get(stage, 0) == 64
+    burst_sizes = [
+        sum(r["compaction_count"].values())
+        for r in rows
+        if sum(r["compaction_count"].values()) >= 32
+    ]
+    record("Table 1", "compactions per burst", "64", str(burst_sizes))
+    input_mb = [r["compaction_input_mb"] for r in rows if r["compaction_input_mb"] > 0]
+    record("Table 1", "compaction input [MB]", "392-2029",
+           f"{min(input_mb):.0f}-{max(input_mb):.0f}")
+    assert all(size >= 64 for size in burst_sizes)
+    assert min(input_mb) > 50

@@ -1,0 +1,8 @@
+"""Setup shim; metadata lives in pyproject.toml.
+
+Kept so editable installs work on environments whose setuptools lacks
+PEP 660 wheel support (`python setup.py develop` / pip fallback).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Offline analysis: knee detection, overlap analysis, tail statistics."""
+
+from .kneedle import KneedleResult, kneedle
+from .longtail import LatencySpike, find_spikes, reduction_ratio, spike_period
+from .overlap import (
+    OverlapReport,
+    alignment_score,
+    burst_alignment,
+    coincidence_period,
+    overlap_report,
+    scheduled_overlap_times,
+)
+
+__all__ = [
+    "KneedleResult",
+    "kneedle",
+    "LatencySpike",
+    "find_spikes",
+    "reduction_ratio",
+    "spike_period",
+    "OverlapReport",
+    "alignment_score",
+    "burst_alignment",
+    "coincidence_period",
+    "overlap_report",
+    "scheduled_overlap_times",
+]

@@ -1,0 +1,163 @@
+"""The Kneedle knee/elbow detection algorithm.
+
+Full from-scratch implementation of Satopää, Albrecht, Irwin &
+Raghavan, *Finding a "Kneedle" in a Haystack: Detecting Knee Points in
+System Behavior* (ICDCSW 2011) — the paper's §4.2.2 uses it to pick the
+compaction-thread allocation from the latency-vs-concurrency curve
+(Figure 15).
+
+Algorithm outline (for a concave-increasing curve; other shapes are
+transformed into this canonical form first):
+
+1. Optionally smooth the curve (here: moving average).
+2. Normalize x and y to [0, 1].
+3. Compute the difference curve ``d = y_n − x_n``.
+4. Candidate knees are local maxima of ``d``; a candidate is confirmed
+   when ``d`` drops below a sensitivity-dependent threshold before the
+   next local maximum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["kneedle", "KneedleResult"]
+
+
+class KneedleResult:
+    """Outcome of a knee search."""
+
+    __slots__ = ("knee_x", "knee_y", "all_knees", "difference_curve")
+
+    def __init__(
+        self,
+        knee_x: Optional[float],
+        knee_y: Optional[float],
+        all_knees: List[float],
+        difference_curve: np.ndarray,
+    ) -> None:
+        self.knee_x = knee_x
+        self.knee_y = knee_y
+        self.all_knees = all_knees
+        self.difference_curve = difference_curve
+
+    @property
+    def found(self) -> bool:
+        return self.knee_x is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KneedleResult knee_x={self.knee_x} candidates={self.all_knees}>"
+
+
+def _moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    if window <= 1:
+        return values.astype(float)
+    kernel = np.ones(window) / window
+    padded = np.concatenate(
+        [np.full(window // 2, values[0]), values, np.full(window - 1 - window // 2, values[-1])]
+    )
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def kneedle(
+    x: Sequence[float],
+    y: Sequence[float],
+    sensitivity: float = 1.0,
+    curve: str = "concave",
+    direction: str = "increasing",
+    smoothing_window: int = 1,
+) -> KneedleResult:
+    """Find the knee of ``y(x)``.
+
+    Parameters
+    ----------
+    x, y:
+        The curve's points; ``x`` must be strictly increasing.
+    sensitivity:
+        Kneedle's S parameter; larger = more conservative.
+    curve:
+        ``"concave"`` (knee = point of diminishing returns) or
+        ``"convex"`` (elbow — Figure 15's latency-vs-concurrency curve
+        is convex-increasing: flat, then rising fast).
+    direction:
+        ``"increasing"`` or ``"decreasing"``.
+    smoothing_window:
+        Moving-average width in samples (1 = no smoothing).
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.ndim != 1 or x_arr.shape != y_arr.shape:
+        raise AnalysisError("x and y must be 1-D arrays of equal length")
+    if len(x_arr) < 3:
+        raise AnalysisError("kneedle needs at least 3 points")
+    if np.any(np.diff(x_arr) <= 0):
+        raise AnalysisError("x must be strictly increasing")
+    if curve not in ("concave", "convex"):
+        raise AnalysisError(f"unknown curve {curve!r}")
+    if direction not in ("increasing", "decreasing"):
+        raise AnalysisError(f"unknown direction {direction!r}")
+    if sensitivity < 0:
+        raise AnalysisError("sensitivity must be >= 0")
+
+    y_smooth = _moving_average(y_arr, smoothing_window)
+
+    # Normalize to the unit square.
+    x_span = x_arr[-1] - x_arr[0]
+    y_span = y_smooth.max() - y_smooth.min()
+    if y_span == 0:
+        return KneedleResult(None, None, [], np.zeros(len(x_arr)))
+    x_n = (x_arr - x_arr[0]) / x_span
+    y_n = (y_smooth - y_smooth.min()) / y_span
+
+    # Transform to the canonical concave-increasing shape.  Reversing
+    # the y sequence mirrors the curve horizontally; ``1 - y`` mirrors
+    # vertically.  The four (curve, direction) combinations map onto
+    # canonical form as: concave/increasing — identity; concave/
+    # decreasing — horizontal mirror; convex/increasing — both mirrors;
+    # convex/decreasing — vertical mirror.
+    flipped = (curve == "convex") != (direction == "decreasing")
+    if flipped:
+        y_n = y_n[::-1]
+    if curve == "convex":
+        y_n = 1.0 - y_n
+
+    difference = y_n - x_n
+
+    # Local maxima of the difference curve are knee candidates.
+    candidates: List[int] = []
+    for i in range(1, len(difference) - 1):
+        if difference[i] >= difference[i - 1] and difference[i] >= difference[i + 1]:
+            candidates.append(i)
+
+    threshold_drop = sensitivity * float(np.mean(np.abs(np.diff(x_n))))
+    knees: List[int] = []
+    for idx_pos, i in enumerate(candidates):
+        threshold = difference[i] - threshold_drop
+        next_candidate = (
+            candidates[idx_pos + 1] if idx_pos + 1 < len(candidates) else len(difference)
+        )
+        for j in range(i + 1, next_candidate):
+            if difference[j] < threshold:
+                knees.append(i)
+                break
+        else:
+            # The difference curve never recovers after the last
+            # candidate: accept it if it is the global maximum tail.
+            if idx_pos == len(candidates) - 1 and difference[i] == difference.max():
+                knees.append(i)
+
+    if not knees:
+        return KneedleResult(None, None, [], difference)
+
+    def original_index(i: int) -> int:
+        return len(x_arr) - 1 - i if flipped else i
+
+    knee_xs = [float(x_arr[original_index(i)]) for i in knees]
+    first = original_index(knees[0])
+    return KneedleResult(
+        float(x_arr[first]), float(y_arr[first]), knee_xs, difference
+    )

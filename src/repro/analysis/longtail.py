@@ -1,0 +1,106 @@
+"""Latency long-tail statistics and spike detection.
+
+Helpers for the evaluation's headline comparisons: spike extraction
+from pXX timelines, spike periodicity (the LCM cadence of Figure 1),
+and baseline-vs-solution reduction ratios (§5's "p99.9 to less than
+20 %").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["find_spikes", "spike_period", "reduction_ratio", "LatencySpike"]
+
+
+class LatencySpike:
+    """One contiguous excursion of a latency timeline above a threshold."""
+
+    __slots__ = ("start", "end", "peak", "peak_time")
+
+    def __init__(self, start: float, end: float, peak: float, peak_time: float) -> None:
+        self.start = start
+        self.end = end
+        self.peak = peak
+        self.peak_time = peak_time
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LatencySpike {self.start:.1f}-{self.end:.1f}s "
+            f"peak={self.peak:.2f}s@{self.peak_time:.1f}s>"
+        )
+
+
+def find_spikes(
+    times: Sequence[float],
+    values: Sequence[float],
+    threshold: float,
+    min_gap: float = 1.0,
+) -> List[LatencySpike]:
+    """Contiguous regions where *values* exceeds *threshold*.
+
+    Regions separated by less than *min_gap* seconds are merged — a
+    spike briefly dipping under the threshold is still one spike.
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape:
+        raise AnalysisError("times and values must have equal shapes")
+    above = v > threshold
+    spikes: List[LatencySpike] = []
+    i = 0
+    n = len(t)
+    while i < n:
+        if not above[i]:
+            i += 1
+            continue
+        j = i
+        while j + 1 < n and (
+            above[j + 1] or (t[j + 1] - t[j] < min_gap and np.any(above[j + 1 :][: 3]))
+        ):
+            j += 1
+        segment = slice(i, j + 1)
+        peak_idx = i + int(np.argmax(v[segment]))
+        spikes.append(
+            LatencySpike(float(t[i]), float(t[j]), float(v[peak_idx]), float(t[peak_idx]))
+        )
+        i = j + 1
+    # merge spikes closer than min_gap
+    merged: List[LatencySpike] = []
+    for spike in spikes:
+        if merged and spike.start - merged[-1].end < min_gap:
+            prev = merged[-1]
+            peak, peak_time = (
+                (prev.peak, prev.peak_time)
+                if prev.peak >= spike.peak
+                else (spike.peak, spike.peak_time)
+            )
+            merged[-1] = LatencySpike(prev.start, spike.end, peak, peak_time)
+        else:
+            merged.append(spike)
+    return merged
+
+
+def spike_period(spikes: Sequence[LatencySpike]) -> Optional[float]:
+    """Median interval between consecutive spike peaks (None if < 2)."""
+    if len(spikes) < 2:
+        return None
+    peaks = np.array([s.peak_time for s in spikes])
+    return float(np.median(np.diff(peaks)))
+
+
+def reduction_ratio(baseline: float, mitigated: float) -> float:
+    """``mitigated / baseline`` — §5 claims < 0.2 at p99.9."""
+    if baseline <= 0:
+        raise AnalysisError("baseline must be positive")
+    if mitigated < 0:
+        raise AnalysisError("mitigated must be non-negative")
+    return mitigated / baseline

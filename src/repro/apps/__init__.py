@@ -1,0 +1,12 @@
+"""Benchmark applications built on the public engine API."""
+
+from .traffic_job import INITIAL_L0_PRESETS, TRAFFIC_STAGES, build_traffic_job
+from .wordcount_job import WORDCOUNT_STAGES, build_wordcount_job
+
+__all__ = [
+    "INITIAL_L0_PRESETS",
+    "TRAFFIC_STAGES",
+    "build_traffic_job",
+    "WORDCOUNT_STAGES",
+    "build_wordcount_job",
+]

@@ -1,0 +1,100 @@
+"""Soft-resource (thread-pool) allocation (§4.2).
+
+Two recommendations:
+
+* **Flush threads** — the rule of thumb: one per CPU core
+  (:func:`recommend_flush_threads`).  Fewer serializes the stop-the-world
+  phase; more adds locking overhead without adding CPU.
+* **Compaction threads** — non-trivial.  Instead of brute-forcing every
+  pool size, §4.2.2 correlates fine-grained (50 ms) windows' observed
+  *compaction concurrency* with the same windows' tail latency from a
+  single run, then finds the knee of that curve with Kneedle
+  (:func:`recommend_compaction_threads`, Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..analysis.kneedle import kneedle
+from ..errors import AnalysisError
+
+__all__ = [
+    "recommend_flush_threads",
+    "concurrency_latency_curve",
+    "recommend_compaction_threads",
+]
+
+
+def recommend_flush_threads(cores_per_node: int) -> int:
+    """The §4.2.1 rule of thumb: flush threads = CPU cores."""
+    if cores_per_node < 1:
+        raise AnalysisError("cores_per_node must be >= 1")
+    return cores_per_node
+
+
+def concurrency_latency_curve(
+    window_times: np.ndarray,
+    window_latency: np.ndarray,
+    concurrency_times: np.ndarray,
+    concurrency: np.ndarray,
+    max_concurrency: Optional[int] = None,
+    min_windows: int = 3,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Bin windows by their compaction concurrency → mean tail latency.
+
+    Both series must share a window width; windows are matched by
+    nearest timestamp.  Returns ``(concurrency_levels, mean_latency)``
+    over levels observed in at least *min_windows* windows — the
+    scatter/curve of Figure 15.
+    """
+    if len(window_times) == 0 or len(concurrency_times) == 0:
+        raise AnalysisError("empty input series")
+    idx = np.searchsorted(concurrency_times, window_times)
+    idx = np.clip(idx, 0, len(concurrency) - 1)
+    matched = concurrency[idx].astype(int)
+    if max_concurrency is not None:
+        keep = matched <= max_concurrency
+        matched = matched[keep]
+        window_latency = window_latency[keep]
+    levels = []
+    means = []
+    for level in np.unique(matched):
+        mask = matched == level
+        if mask.sum() < min_windows:
+            continue
+        levels.append(int(level))
+        means.append(float(np.mean(window_latency[mask])))
+    if len(levels) < 3:
+        raise AnalysisError(
+            "not enough distinct concurrency levels to fit a curve "
+            f"(got {len(levels)})"
+        )
+    return np.array(levels, dtype=float), np.array(means)
+
+
+def recommend_compaction_threads(
+    levels: np.ndarray,
+    mean_latency: np.ndarray,
+    sensitivity: float = 1.0,
+    fallback: int = 4,
+) -> int:
+    """Knee of the latency-vs-concurrency curve (Figure 15).
+
+    The curve is convex-increasing — flat while concurrency fits in the
+    CPU headroom, rising fast once compaction steals from message
+    processing.  The knee is the largest concurrency before the rise,
+    i.e. the recommended ``max_background_compactions``.
+    """
+    result = kneedle(
+        levels,
+        mean_latency,
+        sensitivity=sensitivity,
+        curve="convex",
+        direction="increasing",
+    )
+    if not result.found:
+        return fallback
+    return max(1, int(round(result.knee_x)))

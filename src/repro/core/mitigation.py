@@ -1,0 +1,105 @@
+"""The mitigation plan: everything §4 proposes, composable.
+
+A :class:`MitigationPlan` bundles the paper's three levers so an
+experiment can switch any subset on:
+
+1. randomized compaction threshold ``4 + α`` (§4.1),
+2. delayed compaction by the queue drain-out time (§4.1),
+3. flush/compaction thread-pool sizing (§4.2).
+
+``MitigationPlan.baseline()`` is the unmitigated system;
+``MitigationPlan.paper_solution()`` is the configuration evaluated in
+§5 (randomized threshold + 1 s delay, default 16/16 pools).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .delay import DelayedCompactionPolicy
+from .thresholds import RandomizedL0Trigger, StaticL0Trigger
+
+__all__ = ["MitigationPlan"]
+
+
+@dataclass
+class MitigationPlan:
+    """Which mitigations are active, with their parameters."""
+
+    #: Randomize each instance's L0 trigger as ``base + U{0..spread-1}``.
+    randomize_compaction_trigger: bool = False
+    #: Width of the randomization window; the paper uses the cycle
+    #: length (α ∈ [0, 4)).
+    trigger_spread: int = 4
+    #: Seconds to postpone compactions after their triggering flush
+    #: (0 disables; the paper recommends the drain time, ≈1 s).
+    compaction_delay_s: float = 0.0
+    #: Estimate the delay online from observed flush phases instead of
+    #: using the fixed value.
+    auto_delay: bool = False
+    #: Flush pool size per node (None keeps the RocksDB default of 16).
+    flush_threads: Optional[int] = None
+    #: Compaction pool size per node (None keeps the default of 16).
+    compaction_threads: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.trigger_spread < 1:
+            raise ConfigurationError("trigger_spread must be >= 1")
+        if self.compaction_delay_s < 0:
+            raise ConfigurationError("compaction_delay_s must be >= 0")
+        if self.flush_threads is not None and self.flush_threads < 1:
+            raise ConfigurationError("flush_threads must be >= 1")
+        if self.compaction_threads is not None and self.compaction_threads < 1:
+            raise ConfigurationError("compaction_threads must be >= 1")
+
+    # ------------------------------------------------------------------
+    # canned configurations
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def baseline(cls) -> "MitigationPlan":
+        """The unmitigated system: static trigger, no delay, 16/16."""
+        return cls()
+
+    @classmethod
+    def paper_solution(cls) -> "MitigationPlan":
+        """§5's evaluated solution: randomized trigger + 1 s delay,
+        default thread pools (for a fair comparison, as in the paper)."""
+        return cls(randomize_compaction_trigger=True, compaction_delay_s=1.0)
+
+    @classmethod
+    def full(cls) -> "MitigationPlan":
+        """Everything on, including §4.2's recommended pool sizes for a
+        16-core node (flush = cores = 16, compaction = knee = 4)."""
+        return cls(
+            randomize_compaction_trigger=True,
+            compaction_delay_s=1.0,
+            flush_threads=16,
+            compaction_threads=4,
+        )
+
+    # ------------------------------------------------------------------
+    # factories used by the state backend
+    # ------------------------------------------------------------------
+
+    def l0_trigger_policy(self, base: int, rng: random.Random):
+        """Per-store trigger policy; random when the plan says so."""
+        if self.randomize_compaction_trigger:
+            return RandomizedL0Trigger(base, self.trigger_spread, rng)
+        return StaticL0Trigger(base)
+
+    def delay_policy(self) -> DelayedCompactionPolicy:
+        return DelayedCompactionPolicy(self.compaction_delay_s, auto=self.auto_delay)
+
+    def pool_sizes(self, default_flush: int, default_compaction: int):
+        """(flush, compaction) pool sizes after applying overrides."""
+        flush = self.flush_threads or default_flush
+        compaction = self.compaction_threads or default_compaction
+        return flush, compaction
+
+    @property
+    def is_baseline(self) -> bool:
+        return self == MitigationPlan.baseline()

@@ -1,0 +1,73 @@
+"""Randomized compaction thresholds (§4.1, first technique).
+
+The scheduled ShadowSync exists because every stage instance uses the
+same static L0 trigger (4), so all instances' compactions land on the
+same checkpoint.  The mitigation draws a per-instance random extra
+``α ~ U{0 .. spread-1}`` and uses ``base + α`` as the trigger, re-drawn
+after every compaction, so each instance's compactions wander uniformly
+over the ``spread`` checkpoints of a cycle instead of piling onto one.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigurationError
+
+__all__ = ["RandomizedL0Trigger", "StaticL0Trigger"]
+
+
+class StaticL0Trigger:
+    """The default RocksDB behaviour: a fixed trigger (ShadowSync-prone)."""
+
+    def __init__(self, base: int = 4) -> None:
+        if base < 1:
+            raise ConfigurationError("L0 trigger must be >= 1")
+        self.base = base
+
+    def __call__(self) -> int:
+        return self.base
+
+    def advance(self) -> None:
+        """No-op; the trigger never changes."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StaticL0Trigger({self.base})"
+
+
+class RandomizedL0Trigger:
+    """The paper's ``4 + α`` policy, ``α ~ U{0 .. spread-1}``.
+
+    The policy object is installed as
+    :attr:`repro.lsm.options.LSMOptions.l0_trigger_policy` of one store;
+    :meth:`advance` must be called when a compaction is scheduled so the
+    next cycle draws a fresh α.
+    """
+
+    def __init__(self, base: int, spread: int, rng: random.Random) -> None:
+        if base < 1:
+            raise ConfigurationError("L0 trigger base must be >= 1")
+        if spread < 1:
+            raise ConfigurationError("spread must be >= 1")
+        self.base = base
+        self.spread = spread
+        self._rng = rng
+        self._current = self._draw()
+        self.draw_history = [self._current]
+
+    def _draw(self) -> int:
+        return self.base + self._rng.randrange(self.spread)
+
+    def __call__(self) -> int:
+        return self._current
+
+    def advance(self) -> None:
+        """Re-draw α for the next compaction cycle."""
+        self._current = self._draw()
+        self.draw_history.append(self._current)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RandomizedL0Trigger(base={self.base}, spread={self.spread}, "
+            f"current={self._current})"
+        )

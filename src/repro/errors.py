@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation kernel is misused or reaches an
+    inconsistent state (e.g. scheduling an event in the past)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or component configuration is invalid."""
+
+
+class LSMError(ReproError):
+    """Base class for LSM-tree store errors."""
+
+
+class StoreClosedError(LSMError):
+    """Raised when operating on a closed :class:`~repro.lsm.store.LSMStore`."""
+
+
+class FrozenMemtableError(LSMError):
+    """Raised when writing to a memtable that has been frozen for flush."""
+
+
+class CheckpointError(ReproError):
+    """Raised on checkpoint-coordination failures (e.g. overlapping
+    checkpoints that the coordinator was configured to reject)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an analysis routine receives degenerate input
+    (e.g. fewer than three points for knee detection)."""

@@ -1,0 +1,46 @@
+"""Experiment definitions: one function per paper table/figure."""
+
+from .figures import (
+    fig1_fig3_baseline_timeline,
+    fig6_point_in_time,
+    fig7_zoom_spans,
+    fig8_statistical,
+    fig12_delay_sweep,
+    fig13_flush_thread_sweep,
+    fig14_compaction_thread_sweep,
+    fig15_kneedle,
+    fig16_traffic_mitigation,
+    fig17_wordcount_tails,
+    fig18_wordcount_timeline,
+    fig19_traffic_nvme,
+    fig20_wordcount_nvme,
+    headline_reduction,
+    table1_checkpoint_stats,
+)
+from .report import render_series, render_sweep, render_table, render_tails
+from .runner import ExperimentSettings, run_traffic, run_wordcount
+
+__all__ = [
+    "fig1_fig3_baseline_timeline",
+    "fig6_point_in_time",
+    "fig7_zoom_spans",
+    "fig8_statistical",
+    "fig12_delay_sweep",
+    "fig13_flush_thread_sweep",
+    "fig14_compaction_thread_sweep",
+    "fig15_kneedle",
+    "fig16_traffic_mitigation",
+    "fig17_wordcount_tails",
+    "fig18_wordcount_timeline",
+    "fig19_traffic_nvme",
+    "fig20_wordcount_nvme",
+    "headline_reduction",
+    "table1_checkpoint_stats",
+    "render_series",
+    "render_sweep",
+    "render_table",
+    "render_tails",
+    "ExperimentSettings",
+    "run_traffic",
+    "run_wordcount",
+]

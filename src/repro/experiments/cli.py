@@ -1,0 +1,149 @@
+"""Command-line interface: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig8 [--duration 200] [--seed 1]
+    python -m repro run table1
+    python -m repro compare            # baseline vs solution summary
+
+The output is plain text (tables and ASCII timelines); experiment
+functions are resolved from :mod:`repro.experiments.figures`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import figures
+from .report import render_series, render_sweep, render_table, render_tails
+from .runner import ExperimentSettings
+
+__all__ = ["EXPERIMENTS", "main", "build_parser"]
+
+#: CLI name -> experiment function.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": figures.fig1_fig3_baseline_timeline,
+    "fig3": figures.fig1_fig3_baseline_timeline,
+    "table1": figures.table1_checkpoint_stats,
+    "fig6": figures.fig6_point_in_time,
+    "fig7": figures.fig7_zoom_spans,
+    "fig8": figures.fig8_statistical,
+    "fig12": figures.fig12_delay_sweep,
+    "fig13": figures.fig13_flush_thread_sweep,
+    "fig14": figures.fig14_compaction_thread_sweep,
+    "fig15": figures.fig15_kneedle,
+    "fig16": figures.fig16_traffic_mitigation,
+    "fig17": figures.fig17_wordcount_tails,
+    "fig18": figures.fig18_wordcount_timeline,
+    "fig19": figures.fig19_traffic_nvme,
+    "fig20": figures.fig20_wordcount_nvme,
+    "headline": figures.headline_reduction,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ShadowSync reproduction: regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its report")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--duration", type=float, default=200.0,
+                     help="simulated seconds (default 200)")
+    run.add_argument("--warmup", type=float, default=40.0,
+                     help="seconds excluded from measurement (default 40)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--json", action="store_true",
+                     help="dump the raw experiment dict as JSON")
+
+    sub.add_parser("compare",
+                   help="run traffic baseline vs solution and print tails")
+    return parser
+
+
+def _summarize(name: str, out: dict) -> str:
+    """Render the parts of an experiment dict a terminal reader wants."""
+    lines: List[str] = [f"== {name} =="]
+    if "rows" in out and out["rows"] and "delay_s" in out["rows"][0]:
+        lines.append(render_sweep(out["rows"], "delay_s"))
+    elif "rows" in out and out["rows"] and "flush_threads" in out["rows"][0]:
+        lines.append(render_sweep(out["rows"], "flush_threads"))
+    elif "rows" in out and out["rows"] and "compaction_threads" in out["rows"][0]:
+        lines.append(render_sweep(out["rows"], "compaction_threads"))
+    elif "rows" in out:  # table1
+        headers = ["CP", "t [s]", "flush s0/s1", "compaction s0/s1", "input MB"]
+        table_rows = []
+        for row in out["rows"]:
+            table_rows.append([
+                row["checkpoint"],
+                f"{row['time']:.0f}",
+                f"{row['flush_count'].get('s0', 0)}/{row['flush_count'].get('s1', 0)}",
+                f"{row['compaction_count'].get('s0', 0)}/"
+                f"{row['compaction_count'].get('s1', 0)}",
+                f"{row['compaction_input_mb']:.0f}",
+            ])
+        lines.append(render_table(headers, table_rows))
+    if "times" in out and "p999" in out:
+        lines.append(render_series(out["times"], out["p999"],
+                                   label="p99.9 latency [s]"))
+    if "baseline" in out and "solution" in out:
+        lines.append(render_tails({
+            "baseline": out["baseline"]["tails"],
+            "solution": out["solution"]["tails"],
+        }))
+        lines.append(
+            f"reduction: p99.9 -> {out['reduction_p999']:.0%}, "
+            f"p95 -> {out['reduction_p95']:.0%}"
+        )
+    if "tails" in out:
+        lines.append(render_tails({"run": out["tails"]}))
+    for key in ("spike_period_s", "best_delay_s", "best_flush_threads",
+                "best_compaction_threads", "recommended_threads",
+                "floor_s"):
+        if out.get(key) is not None:
+            lines.append(f"{key}: {out[key]}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {doc}")
+        return 0
+
+    if args.command == "compare":
+        from ..core.mitigation import MitigationPlan
+        from .runner import run_traffic
+
+        settings = ExperimentSettings()
+        tails = {}
+        for name, plan in (("baseline", None),
+                           ("solution", MitigationPlan.paper_solution())):
+            result = run_traffic(mitigation=plan, settings=settings)
+            tails[name] = result.tail_summary(start=settings.warmup_s)
+        print(render_tails(tails))
+        ratio = tails["solution"]["p999"] / tails["baseline"]["p999"]
+        print(f"p99.9 reduced to {ratio:.0%} of baseline")
+        return 0
+
+    settings = ExperimentSettings(
+        duration_s=args.duration, warmup_s=args.warmup, seed=args.seed
+    )
+    out = EXPERIMENTS[args.experiment](settings)
+    if args.json:
+        json.dump(out, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        print(_summarize(args.experiment, out))
+    return 0

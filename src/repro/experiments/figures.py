@@ -1,0 +1,391 @@
+"""One function per table/figure of the paper's evaluation.
+
+Each function runs the relevant experiment(s) with the standard
+settings and returns a plain dict of the series/rows the paper plots,
+plus the derived quantities the reproduction is judged on (spike
+period, knee position, reduction ratios).  The benchmark suite under
+``benchmarks/`` calls these and asserts the *shape* criteria from
+DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..analysis.longtail import find_spikes, reduction_ratio, spike_period
+from ..analysis.overlap import burst_alignment, overlap_report
+from ..core.allocation import (
+    concurrency_latency_curve,
+    recommend_compaction_threads,
+)
+from ..core.mitigation import MitigationPlan
+from ..storage.backend import NVME_SSD
+from .runner import DEFAULT_SETTINGS, ExperimentSettings, run_traffic, run_wordcount
+
+__all__ = [
+    "fig1_fig3_baseline_timeline",
+    "table1_checkpoint_stats",
+    "fig6_point_in_time",
+    "fig7_zoom_spans",
+    "fig8_statistical",
+    "fig12_delay_sweep",
+    "fig13_flush_thread_sweep",
+    "fig14_compaction_thread_sweep",
+    "fig15_kneedle",
+    "fig16_traffic_mitigation",
+    "fig17_wordcount_tails",
+    "fig18_wordcount_timeline",
+    "fig19_traffic_nvme",
+    "fig20_wordcount_nvme",
+    "headline_reduction",
+]
+
+
+def _timeline(result, settings: ExperimentSettings, window: Optional[float] = None):
+    start, end = settings.measure_span
+    times, p999 = result.latency_timeline(
+        0.999, window=window or settings.coarse_window_s, start=start, end=end
+    )
+    return times, p999
+
+
+# ----------------------------------------------------------------------
+# §2 + §3.2 — the scheduled ShadowSync exemplar (16 s checkpoints)
+# ----------------------------------------------------------------------
+
+def fig1_fig3_baseline_timeline(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict:
+    """Figures 1 and 3: periodic latency spikes on the baseline.
+
+    16 s checkpoints with stage counters out of phase (§3.2's observed
+    condition): each stage's compaction burst recurs every 64 s, the
+    two stages alternate, so spikes arrive every ~32 s — the LCM
+    cadence of Figure 1.
+    """
+    result = run_traffic(
+        checkpoint_interval_s=16.0, initial_l0="staggered", settings=settings
+    )
+    times, p999 = _timeline(result, settings)
+    floor = float(np.median(p999))
+    spikes = find_spikes(times, p999, threshold=max(2.5 * floor, 0.8))
+    return {
+        "times": times.tolist(),
+        "p999": p999.tolist(),
+        "floor_s": floor,
+        "spikes": [(s.peak_time, s.peak) for s in spikes],
+        "spike_period_s": spike_period(spikes),
+        "tails": result.tail_summary(start=settings.warmup_s),
+    }
+
+
+def table1_checkpoint_stats(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict:
+    """Table 1: per-checkpoint flush/compaction statistics.
+
+    Five consecutive checkpoints after warmup; compaction bursts of 64
+    hit alternating stages (s1 at the 1st and 5th, s0 in between),
+    matching the staggered scheduled pattern.
+    """
+    result = run_traffic(
+        checkpoint_interval_s=16.0, initial_l0="staggered", settings=settings
+    )
+    stats = result.checkpoint_stats()
+    after_warmup = [s for s in stats if s.time >= settings.warmup_s]
+    # Align the 5-checkpoint window on a burst checkpoint, as the paper
+    # does (its window starts at a synchronization point, 152 s).
+    start = 0
+    for i, row in enumerate(after_warmup):
+        if sum(row.compaction_count.values()) >= 32:
+            start = i
+            break
+    selected = after_warmup[start : start + 5]
+    return {
+        "rows": [s.as_dict() for s in selected],
+        "stages": ["s0", "s1"],
+    }
+
+
+def fig6_point_in_time(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Figure 6: CPU, queues and activity concurrency around the spikes."""
+    result = run_traffic(
+        checkpoint_interval_s=16.0, initial_l0="staggered", settings=settings
+    )
+    start, end = settings.measure_span
+    cpu = result.cpu_series("node0")
+    cpu_t, cpu_v = cpu.on_grid(start, end, 0.05)
+    q_t, q0 = result.queue_series("s0", start, end)
+    _, q1 = result.queue_series("s1", start, end)
+    f_t, flush_c = result.concurrency("flush", start, end)
+    _, comp_c = result.concurrency("compaction", start, end)
+    times, p999 = _timeline(result, settings)
+    floor = float(np.median(p999))
+    spikes = find_spikes(times, p999, threshold=max(2.5 * floor, 0.8))
+    saturated = [
+        float(cpu.fraction_above(15.2, s.start - 1.0, s.end + 1.0)) for s in spikes
+    ]
+    return {
+        "cpu": (cpu_t.tolist(), cpu_v.tolist()),
+        "queues": (q_t.tolist(), q0.tolist(), q1.tolist()),
+        "flush_concurrency": (f_t.tolist(), flush_c.tolist()),
+        "compaction_concurrency": (f_t.tolist(), comp_c.tolist()),
+        "spikes": [(s.peak_time, s.peak) for s in spikes],
+        "cpu_saturated_fraction_at_spikes": saturated,
+        "capacity": 16.0,
+    }
+
+
+def fig7_zoom_spans(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Figure 7: individual flush/compaction spans in one burst window.
+
+    Flushes are short and numerous; the compaction burst's spans last
+    much longer because 64 jobs share 16 compaction threads per node
+    while contending with message processing.
+    """
+    result = run_traffic(
+        checkpoint_interval_s=16.0, initial_l0="staggered", settings=settings
+    )
+    # find a checkpoint with a compaction burst after warmup
+    stats = result.checkpoint_stats()
+    burst_cp = None
+    for row in stats:
+        if row.time >= settings.warmup_s and sum(row.compaction_count.values()) >= 32:
+            burst_cp = row
+            break
+    if burst_cp is None:  # pragma: no cover - defensive
+        raise RuntimeError("no compaction burst found")
+    window = (burst_cp.time - 0.5, burst_cp.time + 8.0)
+    flushes = result.flush_spans(window=window)
+    compactions = result.compaction_spans(window=window)
+    return {
+        "window": window,
+        "flush_spans": [(s.stage, s.start, s.end) for s in flushes],
+        "compaction_spans": [(s.stage, s.start, s.end) for s in compactions],
+        "mean_flush_s": float(np.mean([s.duration for s in flushes])),
+        "mean_compaction_s": float(np.mean([s.duration for s in compactions]))
+        if compactions
+        else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# §3.3 — statistical ShadowSync (8 s checkpoints, aligned counters)
+# ----------------------------------------------------------------------
+
+def fig8_statistical(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Figure 8: aligned counters put both stages' bursts in the same
+    checkpoint → even higher spikes (> 2 s) in a 32 s cycle."""
+    result = run_traffic(
+        checkpoint_interval_s=8.0, initial_l0="aligned", settings=settings
+    )
+    times, p999 = _timeline(result, settings)
+    spikes = find_spikes(times, p999, threshold=1.0)
+    cps = [
+        t
+        for t in result.coordinator.checkpoint_times()
+        if t >= settings.warmup_s
+    ]
+    alignment = burst_alignment(result.spans, ["s0", "s1"], cps)
+    return {
+        "times": times.tolist(),
+        "p999": p999.tolist(),
+        "spikes": [(s.peak_time, s.peak) for s in spikes],
+        "spike_period_s": spike_period(spikes),
+        "per_checkpoint_compactions": {
+            k: v for k, v in sorted(alignment.items())
+        },
+        "tails": result.tail_summary(start=settings.warmup_s),
+    }
+
+
+# ----------------------------------------------------------------------
+# §4 — mitigation parameter studies
+# ----------------------------------------------------------------------
+
+def fig12_delay_sweep(
+    delays=(0.1, 0.5, 1.0, 3.0, 6.0, 8.0),
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict:
+    """Figure 12: compaction delay sweep (on top of the randomized
+    trigger, §4.1's combined setting).  Best around the ~1 s drain
+    time; a delay near the checkpoint interval wraps into the next
+    flush and regresses."""
+    rows = []
+    for delay in delays:
+        plan = MitigationPlan(
+            randomize_compaction_trigger=True, compaction_delay_s=delay
+        )
+        result = run_traffic(mitigation=plan, settings=settings)
+        tails = result.tail_summary(start=settings.warmup_s)
+        rows.append({"delay_s": delay, **tails})
+    best = min(rows, key=lambda r: r["p999"])
+    return {"rows": rows, "best_delay_s": best["delay_s"]}
+
+
+def fig13_flush_thread_sweep(
+    threads=(1, 2, 4, 8, 16, 32, 64),
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict:
+    """Figure 13: flush-pool sweep with §4.1 mitigations active so the
+    flush effect is not drowned by compaction spikes.  Severe
+    under-allocation is catastrophic; ≈ cores is best; 4× cores pays
+    lock-contention overhead."""
+    rows = []
+    for n in threads:
+        plan = MitigationPlan(
+            randomize_compaction_trigger=True,
+            compaction_delay_s=1.0,
+            flush_threads=n,
+        )
+        result = run_traffic(mitigation=plan, settings=settings)
+        tails = result.tail_summary(start=settings.warmup_s)
+        rows.append({"flush_threads": n, **tails})
+    best = min(rows, key=lambda r: r["p999"])
+    return {"rows": rows, "best_flush_threads": best["flush_threads"]}
+
+
+def fig14_compaction_thread_sweep(
+    threads=(1, 2, 4, 8, 16),
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict:
+    """Figure 14: compaction-pool sweep on the baseline.  One thread
+    cannot keep up (L0 write stalls; tails grow with run length — the
+    paper reports minutes), a handful is best, and the default 16
+    recreates the full ShadowSync contention."""
+    rows = []
+    for n in threads:
+        plan = MitigationPlan(compaction_threads=n)
+        result = run_traffic(mitigation=plan, settings=settings)
+        tails = result.tail_summary(start=settings.warmup_s)
+        rows.append({"compaction_threads": n, **tails})
+    good = [r for r in rows if r["compaction_threads"] > 1]
+    best = min(good, key=lambda r: r["p999"])
+    return {"rows": rows, "best_compaction_threads": best["compaction_threads"]}
+
+
+def fig15_kneedle(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Figure 15: infer the compaction allocation from one run.
+
+    50 ms windows of a randomized-trigger run (whose burst sizes vary
+    naturally) are binned by observed per-node compaction concurrency;
+    Kneedle finds the knee of the latency-vs-concurrency curve.  The
+    knee falls at the CPU headroom (16 cores − 12 steady ≈ 4), matching
+    Figure 14's brute-force best allocation."""
+    long_settings = ExperimentSettings(
+        duration_s=max(settings.duration_s, 280.0),
+        warmup_s=settings.warmup_s,
+        seed=settings.seed,
+    )
+    plan = MitigationPlan(randomize_compaction_trigger=True)
+    result = run_traffic(mitigation=plan, settings=long_settings)
+    start, end = long_settings.measure_span
+    wt, wl = result.latency_timeline(0.999, window=0.05, start=start, end=end)
+    ct, cc = result.concurrency("compaction", start, end, dt=0.05)
+    per_node = np.floor(cc / 4.0)
+    levels, means = concurrency_latency_curve(wt, wl, ct, per_node, min_windows=5)
+    knee = recommend_compaction_threads(levels, means)
+    return {
+        "levels": levels.tolist(),
+        "mean_p999": means.tolist(),
+        "recommended_threads": knee,
+    }
+
+
+# ----------------------------------------------------------------------
+# §5 — evaluation of the mitigation methods
+# ----------------------------------------------------------------------
+
+def _baseline_vs_solution(run, settings: ExperimentSettings, **kwargs) -> Dict:
+    out: Dict = {}
+    for name, plan in (
+        ("baseline", None),
+        ("solution", MitigationPlan.paper_solution()),
+    ):
+        result = run(mitigation=plan, settings=settings, **kwargs)
+        times, p999 = _timeline(result, settings)
+        start, end = settings.measure_span
+        _, comp_c = result.concurrency("compaction", start, end)
+        cps = [t for t in result.coordinator.checkpoint_times() if t >= start]
+        out[name] = {
+            "tails": result.tail_summary(start=start),
+            "timeline": (times.tolist(), p999.tolist()),
+            "peak_p999": float(p999.max()),
+            "compaction_concurrency_peak": float(comp_c.max()),
+            "per_checkpoint_compactions": {
+                k: v
+                for k, v in sorted(
+                    burst_alignment(result.spans, ["s0", "s1"], cps).items()
+                )
+            }
+            if cps
+            else {},
+            "overlap": overlap_report(result.spans, start, end).as_dict(),
+        }
+    out["reduction_p999"] = reduction_ratio(
+        out["baseline"]["tails"]["p999"], out["solution"]["tails"]["p999"]
+    )
+    out["reduction_p95"] = reduction_ratio(
+        out["baseline"]["tails"]["p95"], out["solution"]["tails"]["p95"]
+    )
+    return out
+
+
+def fig16_traffic_mitigation(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict:
+    """Figure 16: traffic job, baseline vs §4 solution (randomized
+    trigger + 1 s delay).  Spikes above 2 s become sub-second; the
+    compaction activity spreads across the 4-checkpoint cycle."""
+    return _baseline_vs_solution(
+        run_traffic, settings, initial_l0="aligned", checkpoint_interval_s=8.0
+    )
+
+
+def fig17_wordcount_tails(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Figure 17: WordCount p99.9 — baseline ≈ 1.3 s vs solution ≈ 0.7 s."""
+    return _baseline_vs_solution(run_wordcount, settings)
+
+
+def fig18_wordcount_timeline(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict:
+    """Figure 18: WordCount fine-grained timelines and concurrency."""
+    return _baseline_vs_solution(run_wordcount, settings)
+
+
+def fig19_traffic_nvme(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Figure 19: traffic on NVMe — mitigations remain effective when
+    flush/compaction pay real I/O costs."""
+    return _baseline_vs_solution(
+        run_traffic,
+        settings,
+        initial_l0="aligned",
+        checkpoint_interval_s=8.0,
+        storage=NVME_SSD,
+    )
+
+
+def fig20_wordcount_nvme(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Figure 20: WordCount on NVMe — baseline degrades vs tmpfs and
+    the mitigations still remove the ShadowSync spikes."""
+    return _baseline_vs_solution(run_wordcount, settings, storage=NVME_SSD)
+
+
+def headline_reduction(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """§5 headline: mitigated p99.9 ≲ 20–25 % and p95 < 50 % of the
+    baseline (with all three §4 techniques enabled)."""
+    baseline = run_traffic(initial_l0="aligned", settings=settings)
+    full = run_traffic(
+        mitigation=MitigationPlan.full(), initial_l0="aligned", settings=settings
+    )
+    b = baseline.tail_summary(start=settings.warmup_s)
+    f = full.tail_summary(start=settings.warmup_s)
+    return {
+        "baseline": b,
+        "mitigated": f,
+        "reduction_p999": reduction_ratio(b["p999"], f["p999"]),
+        "reduction_p95": reduction_ratio(b["p95"], f["p95"]),
+    }

@@ -1,0 +1,80 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper's tables and figure captions are regenerated as ASCII so the
+benchmark harness (and EXPERIMENTS.md) can show paper-vs-measured rows
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "render_series", "render_tails", "render_sweep"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A fixed-width ASCII table."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                cell = f"{cell:.3f}"
+            columns[i].append(str(cell))
+    widths = [max(len(v) for v in col) for col in columns]
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row_idx in range(1, len(columns[0])):
+        lines.append(
+            " | ".join(col[row_idx].ljust(w) for col, w in zip(columns, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    times: Sequence[float],
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A crude ASCII timeline plot (good enough to see the spikes)."""
+    if not times:
+        return "(empty series)"
+    t0, t1 = times[0], times[-1]
+    vmax = max(values) or 1.0
+    buckets = [0.0] * width
+    for t, v in zip(times, values):
+        i = min(int((t - t0) / max(t1 - t0, 1e-9) * (width - 1)), width - 1)
+        buckets[i] = max(buckets[i], v)
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = vmax * level / height
+        rows.append(
+            "".join("#" if v >= threshold else " " for v in buckets)
+        )
+    axis = f"{t0:.0f}s" + " " * (width - 12) + f"{t1:.0f}s"
+    head = f"{label} (max={vmax:.2f})" if label else f"max={vmax:.2f}"
+    return "\n".join([head] + rows + [axis])
+
+
+def render_tails(tails_by_name: Dict[str, Dict[str, float]]) -> str:
+    """Side-by-side latency summaries."""
+    headers = ["run", "p50", "p95", "p99", "p99.9", "max"]
+    rows = [
+        [name, t["p50"], t["p95"], t["p99"], t["p999"], t["max"]]
+        for name, t in tails_by_name.items()
+    ]
+    return render_table(headers, rows)
+
+
+def render_sweep(rows: List[Dict], x_key: str) -> str:
+    """A parameter sweep as a table, best row marked."""
+    best = min(rows, key=lambda r: r["p999"])
+    headers = [x_key, "p95", "p99.9", ""]
+    table_rows = [
+        [r[x_key], r["p95"], r["p999"], "<- best" if r is best else ""]
+        for r in rows
+    ]
+    return render_table(headers, table_rows)

@@ -1,0 +1,73 @@
+"""Standard experiment runs.
+
+Every figure/table benchmark goes through these helpers so that the
+durations, warmup and seeds are uniform and the EXPERIMENTS.md numbers
+are regenerable with one call each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..apps.traffic_job import build_traffic_job
+from ..apps.wordcount_job import build_wordcount_job
+from ..core.mitigation import MitigationPlan
+from ..storage.backend import StorageProfile, TMPFS
+from ..stream.engine import StreamJobResult
+
+__all__ = ["ExperimentSettings", "run_traffic", "run_wordcount"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Run length and measurement conventions shared by experiments."""
+
+    duration_s: float = 200.0
+    warmup_s: float = 40.0
+    seed: int = 1
+    #: Window for pXX timelines (the paper uses 50 ms for fine-grained
+    #: analysis; 500 ms for the long timelines to keep plots readable).
+    fine_window_s: float = 0.05
+    coarse_window_s: float = 0.5
+
+    @property
+    def measure_span(self):
+        return self.warmup_s, self.duration_s
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+
+def run_traffic(
+    mitigation: Optional[MitigationPlan] = None,
+    checkpoint_interval_s: float = 8.0,
+    initial_l0: Union[str, Dict[str, int]] = "aligned",
+    storage: StorageProfile = TMPFS,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> StreamJobResult:
+    """Run the traffic-jam benchmark with standard settings."""
+    job = build_traffic_job(
+        checkpoint_interval_s=checkpoint_interval_s,
+        mitigation=mitigation,
+        storage=storage,
+        initial_l0=initial_l0,
+        seed=settings.seed,
+    )
+    return job.run(settings.duration_s)
+
+
+def run_wordcount(
+    mitigation: Optional[MitigationPlan] = None,
+    commit_interval_s: float = 8.0,
+    storage: StorageProfile = TMPFS,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> StreamJobResult:
+    """Run the WordCount benchmark with standard settings."""
+    job = build_wordcount_job(
+        commit_interval_s=commit_interval_s,
+        mitigation=mitigation,
+        storage=storage,
+        seed=settings.seed,
+    )
+    return job.run(settings.duration_s)

@@ -1,0 +1,32 @@
+"""A functional LSM-tree key-value store (RocksDB's role).
+
+The store is real — sorted memtables, immutable SSTables, leveled
+compaction with newest-wins merges and tombstones — while its *timing*
+is charged to the simulation by whoever drives the control-plane hooks
+(:meth:`~repro.lsm.store.LSMStore.begin_flush`,
+:meth:`~repro.lsm.store.LSMStore.pick_compaction`, …).
+"""
+
+from .compaction import CompactionJob
+from .flush import FlushJob
+from .levels import CompactionPick, LevelManager
+from .memtable import TOMBSTONE, MemTable
+from .options import KiB, LSMOptions, MiB
+from .sstable import SSTable, merge_tables
+from .store import LSMStore, StoreStats
+
+__all__ = [
+    "CompactionJob",
+    "FlushJob",
+    "CompactionPick",
+    "LevelManager",
+    "TOMBSTONE",
+    "MemTable",
+    "KiB",
+    "LSMOptions",
+    "MiB",
+    "SSTable",
+    "merge_tables",
+    "LSMStore",
+    "StoreStats",
+]

@@ -1,0 +1,151 @@
+"""The in-memory write buffer (memtable).
+
+Writes append to the active memtable; a flush freezes it and dumps its
+sorted contents into one L0 SSTable.  While an instance's memtable is
+being flushed RocksDB blocks writers — the "stop-the-world" behaviour
+that makes flushes matter for tail latency even though they are short.
+
+Two accounting paths coexist:
+
+* **Physical entries** — real key/value pairs, kept sorted on demand;
+  every LSM correctness test and the read path use these.
+* **Logical bytes** — simulations that model 60 k msg/s do not insert
+  sixty thousand real keys per second; they call :meth:`account` to add
+  the bytes those writes *would* occupy, while still writing sampled
+  real entries.  Size-triggered flush decisions use logical bytes, so
+  timing behaviour is exact even under sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import FrozenMemtableError
+
+__all__ = ["TOMBSTONE", "MemTable"]
+
+
+class _Tombstone:
+    """Sentinel marking a deleted key until compaction drops it."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<TOMBSTONE>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+class MemTable:
+    """A mutable, sorted-on-demand in-memory write buffer."""
+
+    def __init__(self, entry_overhead_bytes: int = 24) -> None:
+        self._data: Dict[bytes, object] = {}
+        self._entry_overhead = entry_overhead_bytes
+        self._physical_bytes = 0
+        self._accounted_bytes = 0
+        self._accounted_entries = 0
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite *key*."""
+        self._check_writable()
+        old = self._data.get(key)
+        if old is None:
+            self._physical_bytes += len(key) + self._entry_overhead
+        elif old is not TOMBSTONE:
+            self._physical_bytes -= len(old)
+        else:
+            pass  # tombstone carried no value bytes
+        self._data[key] = value
+        self._physical_bytes += len(value)
+
+    def delete(self, key: bytes) -> None:
+        """Record a deletion (tombstone)."""
+        self._check_writable()
+        old = self._data.get(key)
+        if old is None:
+            self._physical_bytes += len(key) + self._entry_overhead
+        elif old is not TOMBSTONE:
+            self._physical_bytes -= len(old)
+        self._data[key] = TOMBSTONE
+
+    def account(self, entries: int, data_bytes: int) -> None:
+        """Add *logical* write volume without physical entries."""
+        self._check_writable()
+        if entries < 0 or data_bytes < 0:
+            raise ValueError("account() takes non-negative amounts")
+        self._accounted_entries += entries
+        self._accounted_bytes += data_bytes + entries * self._entry_overhead
+
+    def _check_writable(self) -> None:
+        if self._frozen:
+            raise FrozenMemtableError("memtable is frozen for flush")
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[object]:
+        """The stored value, :data:`TOMBSTONE`, or ``None`` if absent."""
+        return self._data.get(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        """Number of physical entries (tombstones included)."""
+        return len(self._data)
+
+    @property
+    def entry_count(self) -> int:
+        """Physical plus accounted logical entries."""
+        return len(self._data) + self._accounted_entries
+
+    @property
+    def size_bytes(self) -> int:
+        """Logical size used for flush decisions."""
+        return self._physical_bytes + self._accounted_bytes
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._data and self._accounted_entries == 0
+
+    # ------------------------------------------------------------------
+    # flush support
+    # ------------------------------------------------------------------
+
+    def freeze(self) -> None:
+        """Make the memtable immutable prior to flushing it."""
+        self._frozen = True
+
+    def sorted_entries(self) -> List[Tuple[bytes, object]]:
+        """Physical entries in key order (values may be TOMBSTONE)."""
+        return sorted(self._data.items())
+
+    def scan(
+        self, low: Optional[bytes] = None, high: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, object]]:
+        """Yield physical entries with ``low <= key < high`` in order."""
+        for key, value in self.sorted_entries():
+            if low is not None and key < low:
+                continue
+            if high is not None and key >= high:
+                break
+            yield key, value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "frozen" if self._frozen else "active"
+        return (
+            f"<MemTable {state} entries={len(self._data)} "
+            f"bytes={self.size_bytes}>"
+        )

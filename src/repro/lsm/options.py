@@ -1,0 +1,111 @@
+"""RocksDB-like configuration options for the LSM store.
+
+Only the options that matter for the ShadowSync study are modelled, with
+the same names and defaults RocksDB uses where applicable:
+
+* ``write_buffer_size`` — memtable capacity; a full memtable forces a
+  flush even without a checkpoint (this is what desynchronizes the L0
+  counters during workload initialization, §3.3).
+* ``l0_compaction_trigger`` — number of L0 SSTables that triggers an
+  L0→L1 compaction (RocksDB default: 4).  The *scheduled* ShadowSync
+  cycle length is exactly this trigger times the checkpoint interval.
+* ``max_background_flushes`` / ``max_background_compactions`` — the soft
+  resources of §4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["LSMOptions", "KiB", "MiB"]
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass
+class LSMOptions:
+    """Tuning knobs of one :class:`~repro.lsm.store.LSMStore`."""
+
+    #: Memtable capacity in bytes before a size-triggered flush.
+    write_buffer_size: int = 64 * MiB
+    #: Number of L0 files that triggers an L0→L1 compaction.
+    l0_compaction_trigger: int = 4
+    #: Total number of levels (RocksDB default num_levels = 7: L0..L6).
+    num_levels: int = 7
+    #: Max total bytes at L1; each deeper level is larger by the
+    #: multiplier below (RocksDB: max_bytes_for_level_base / multiplier).
+    max_bytes_for_level_base: int = 256 * MiB
+    level_size_multiplier: int = 10
+    #: Target size of one SSTable file produced by compaction.
+    target_file_size: int = 64 * MiB
+    #: Background thread pool sizes (§4.2's soft resources).
+    max_background_flushes: int = 16
+    max_background_compactions: int = 16
+    #: Write-stall triggers on the L0 file count (RocksDB:
+    #: level0_slowdown_writes_trigger / level0_stop_writes_trigger,
+    #: scaled down to per-subtask stores that flush one small file per
+    #: checkpoint).  When compaction cannot keep up, L0 accumulates and
+    #: the store first throttles, then stops, writes — the mechanism
+    #: that makes a 1-thread compaction pool catastrophic (Figure 14).
+    l0_slowdown_trigger: int = 8
+    l0_stop_trigger: int = 12
+    #: Log writes to a WAL for crash recovery.  Flink's state backend
+    #: disables it (checkpoints are the recovery mechanism), so the
+    #: default is off; see :mod:`repro.lsm.wal`.
+    wal_enabled: bool = False
+    #: Per-entry bookkeeping overhead used for size accounting.
+    entry_overhead_bytes: int = 24
+    #: Upper bound on the *live* logical bytes of this store (distinct
+    #: keys × entry size, plus slack).  For overwrite-heavy keyed state
+    #: compaction output can never exceed the live data; under sampled
+    #: simulation the physical dedup ratio cannot see that, so the cap
+    #: enforces it.  ``None`` means append-only (no cap).
+    live_data_cap_bytes: Optional[int] = None
+    #: Optional policy deciding the *effective* L0 trigger for this
+    #: store instance.  The mitigation of §4.1 installs
+    #: ``randomized_l0_trigger`` here; ``None`` keeps the static trigger.
+    l0_trigger_policy: Optional[Callable[[], int]] = None
+
+    def __post_init__(self) -> None:
+        if self.write_buffer_size <= 0:
+            raise ConfigurationError("write_buffer_size must be positive")
+        if self.l0_compaction_trigger < 1:
+            raise ConfigurationError("l0_compaction_trigger must be >= 1")
+        if self.num_levels < 2:
+            raise ConfigurationError("num_levels must be >= 2 (L0 and L1)")
+        if self.max_background_flushes < 1 or self.max_background_compactions < 1:
+            raise ConfigurationError("background pool sizes must be >= 1")
+        if self.level_size_multiplier < 2:
+            raise ConfigurationError("level_size_multiplier must be >= 2")
+        if not (
+            self.l0_compaction_trigger
+            <= self.l0_slowdown_trigger
+            <= self.l0_stop_trigger
+        ):
+            raise ConfigurationError(
+                "need l0_compaction_trigger <= l0_slowdown_trigger "
+                "<= l0_stop_trigger"
+            )
+
+    def effective_l0_trigger(self) -> int:
+        """The L0 trigger in force, honoring a mitigation policy."""
+        if self.l0_trigger_policy is not None:
+            trigger = int(self.l0_trigger_policy())
+            if trigger < 1:
+                raise ConfigurationError(
+                    f"l0_trigger_policy produced invalid trigger {trigger}"
+                )
+            return trigger
+        return self.l0_compaction_trigger
+
+    def max_bytes_for_level(self, level: int) -> float:
+        """Size limit for *level* (L1-based geometric progression)."""
+        if level <= 0:
+            raise ConfigurationError("L0 is limited by file count, not bytes")
+        return self.max_bytes_for_level_base * (
+            self.level_size_multiplier ** (level - 1)
+        )

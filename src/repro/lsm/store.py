@@ -1,0 +1,305 @@
+"""The LSM store façade: RocksDB's role in the benchmark.
+
+One :class:`LSMStore` backs one stage instance's keyed state, exactly as
+Flink embeds one RocksDB instance per stateful task.  The store is fully
+functional — puts, gets, deletes, scans, flushes, leveled compactions —
+and separately exposes the *control-plane* hooks the simulation drives:
+
+* :meth:`begin_flush` / :meth:`finish_flush` bracket a flush whose
+  simulated duration the engine charges to CPU/storage;
+* :meth:`pick_compaction` / :meth:`finish_compaction` do the same for
+  compactions;
+* :attr:`l0_file_count` is the counter whose trip at
+  ``effective_l0_trigger()`` creates the 4-checkpoint ShadowSync cycle.
+
+The read path merges, newest first: active memtable → frozen memtables
+→ L0 (newest first) → L1..L6 (binary search per level).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import LSMError, StoreClosedError
+from .compaction import CompactionJob
+from .flush import FlushJob
+from .levels import LevelManager
+from .memtable import TOMBSTONE, MemTable
+from .options import LSMOptions
+from .sstable import SSTable
+from .wal import WriteAheadLog
+
+__all__ = ["StoreStats", "LSMStore"]
+
+
+class StoreStats:
+    """Lifetime counters of one store."""
+
+    __slots__ = (
+        "puts",
+        "gets",
+        "deletes",
+        "flush_count",
+        "flush_bytes",
+        "compaction_count",
+        "compaction_input_bytes",
+        "memtable_full_flushes",
+    )
+
+    def __init__(self) -> None:
+        self.puts = 0
+        self.gets = 0
+        self.deletes = 0
+        self.flush_count = 0
+        self.flush_bytes = 0
+        self.compaction_count = 0
+        self.compaction_input_bytes = 0
+        self.memtable_full_flushes = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class LSMStore:
+    """A single-writer LSM key-value store."""
+
+    def __init__(self, options: Optional[LSMOptions] = None, name: str = "store") -> None:
+        self.options = options or LSMOptions()
+        self.name = name
+        self._active = MemTable(self.options.entry_overhead_bytes)
+        self._frozen: List[MemTable] = []
+        self.levels = LevelManager(self.options)
+        self.stats = StoreStats()
+        self._closed = False
+        self.wal: Optional[WriteAheadLog] = (
+            WriteAheadLog() if self.options.wal_enabled else None
+        )
+        #: memtable id -> WAL segment id, resolved at finish_flush.
+        self._wal_segment_of: dict = {}
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        if self.wal is not None:
+            self.wal.log_put(key, value)
+        self._active.put(key, value)
+        self.stats.puts += 1
+
+    def delete(self, key: bytes) -> None:
+        self._check_open()
+        if self.wal is not None:
+            self.wal.log_delete(key)
+        self._active.delete(key)
+        self.stats.deletes += 1
+
+    def account(self, entries: int, data_bytes: int) -> None:
+        """Add logical write volume (sampled simulation mode)."""
+        self._check_open()
+        self._active.account(entries, data_bytes)
+
+    @property
+    def memtable_full(self) -> bool:
+        """True when the active memtable exceeds ``write_buffer_size``."""
+        return self._active.size_bytes >= self.options.write_buffer_size
+
+    @property
+    def memtable_bytes(self) -> int:
+        return self._active.size_bytes
+
+    @property
+    def memtable_entries(self) -> float:
+        """Physical plus accounted entries in the active memtable."""
+        return self._active.entry_count
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._check_open()
+        self.stats.gets += 1
+        found = self._active.get(key)
+        if found is None:
+            for memtable in reversed(self._frozen):
+                found = memtable.get(key)
+                if found is not None:
+                    break
+        if found is None:
+            for table in self.levels.level(0):
+                found = table.get(key)
+                if found is not None:
+                    break
+        if found is None:
+            for index in range(1, self.levels.num_levels):
+                for table in self.levels.level(index):
+                    found = table.get(key)
+                    if found is not None:
+                        break
+                if found is not None:
+                    break
+        if found is None or found is TOMBSTONE:
+            return None
+        return found
+
+    def scan(
+        self, low: Optional[bytes] = None, high: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield live ``(key, value)`` pairs with ``low <= key < high``.
+
+        Built by merging all sources with newest-wins semantics; this is
+        O(total entries) and intended for tests/examples, not hot paths.
+        """
+        self._check_open()
+        merged: dict = {}
+        sources: List[Iterator[Tuple[bytes, object]]] = []
+        for index in range(self.levels.num_levels - 1, 0, -1):
+            for table in self.levels.level(index):
+                sources.append(table.scan(low, high))
+        for table in reversed(self.levels.level(0)):
+            sources.append(table.scan(low, high))
+        for memtable in self._frozen:
+            sources.append(memtable.scan(low, high))
+        sources.append(self._active.scan(low, high))
+        for source in sources:  # oldest first: later sources overwrite
+            for key, value in source:
+                merged[key] = value
+        for key in sorted(merged):
+            value = merged[key]
+            if value is not TOMBSTONE:
+                yield key, value
+
+    # ------------------------------------------------------------------
+    # flush control plane
+    # ------------------------------------------------------------------
+
+    def begin_flush(self, reason: str = "checkpoint", now: float = 0.0) -> Optional[FlushJob]:
+        """Freeze the active memtable; return the job, or ``None`` when
+        there is nothing to flush."""
+        self._check_open()
+        if self._active.is_empty:
+            return None
+        memtable = self._active
+        memtable.freeze()
+        self._frozen.append(memtable)
+        if self.wal is not None:
+            self._wal_segment_of[id(memtable)] = self.wal.seal_active_segment()
+        self._active = MemTable(self.options.entry_overhead_bytes)
+        self.stats.flush_count += 1
+        self.stats.flush_bytes += memtable.size_bytes
+        if reason == "memtable-full":
+            self.stats.memtable_full_flushes += 1
+        return FlushJob(self, memtable, reason=reason, created_at=now)
+
+    def finish_flush(self, job: FlushJob, now: float = 0.0) -> SSTable:
+        """Run the flush's data plane and install its L0 output."""
+        self._check_open()
+        if job.store is not self:
+            raise LSMError("flush job belongs to a different store")
+        if job.memtable not in self._frozen:
+            raise LSMError("flush job's memtable is not pending")
+        table = job.run(now) if job.output is None else job.output
+        self._frozen.remove(job.memtable)
+        if self.wal is not None:
+            segment = self._wal_segment_of.pop(id(job.memtable), None)
+            if segment is not None:
+                self.wal.drop_segment(segment)
+        self.levels.add_l0(table)
+        return table
+
+    # ------------------------------------------------------------------
+    # compaction control plane
+    # ------------------------------------------------------------------
+
+    @property
+    def l0_file_count(self) -> int:
+        return self.levels.l0_file_count
+
+    def compaction_due(self) -> bool:
+        return self.levels.needs_l0_compaction() or (
+            self.levels.pick_compaction() is not None
+        )
+
+    def pick_compaction(self, now: float = 0.0) -> Optional[CompactionJob]:
+        """Reserve the next due compaction as a job, or ``None``."""
+        self._check_open()
+        pick = self.levels.pick_compaction()
+        if pick is None:
+            return None
+        return CompactionJob(self, pick, created_at=now)
+
+    def finish_compaction(self, job: CompactionJob, now: float = 0.0) -> SSTable:
+        """Run the merge and install its output, freeing the inputs."""
+        self._check_open()
+        if job.store is not self:
+            raise LSMError("compaction job belongs to a different store")
+        output = job.run(now) if job.output is None else job.output
+        cap = self.options.live_data_cap_bytes
+        if cap is not None and job.pick.target_level >= 1:
+            output.logical_bytes = min(output.logical_bytes, cap)
+        self.levels.apply_compaction(job.pick, output)
+        self.stats.compaction_count += 1
+        self.stats.compaction_input_bytes += job.input_bytes
+        return output
+
+    def cancel_compaction(self, job: CompactionJob) -> None:
+        self.levels.abandon_compaction(job.pick)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(f"store {self.name!r} is closed")
+
+    def total_bytes(self) -> int:
+        """Logical bytes across memtables and all levels."""
+        frozen = sum(m.size_bytes for m in self._frozen)
+        return self._active.size_bytes + frozen + self.levels.total_bytes()
+
+    def check_invariants(self) -> None:
+        self.levels.check_invariants()
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    def simulate_crash_and_recover(self) -> "LSMStore":
+        """Crash model: memtables are lost, SSTables survive, the WAL
+        (when enabled) is replayed into a fresh memtable.
+
+        Returns the recovered store; this store is closed.  Without a
+        WAL the recovered store only contains flushed data — exactly
+        the durability Flink's checkpoint-based recovery provides.
+        """
+        self._check_open()
+        recovered = LSMStore(self.options, name=f"{self.name}-recovered")
+        # SSTables are immutable: the recovered store can share them.
+        for index in range(self.levels.num_levels):
+            recovered.levels._levels[index] = list(self.levels._levels[index])
+        if self.wal is not None:
+            from .memtable import TOMBSTONE  # local import to avoid cycle noise
+
+            for record in self.wal.replay():
+                if record.op == "put":
+                    recovered.put(record.key, record.value)
+                else:
+                    recovered.delete(record.key)
+        self.close()
+        return recovered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LSMStore {self.name!r} memtable={self._active.size_bytes}B "
+            f"L0={self.l0_file_count} total={self.total_bytes()}B>"
+        )

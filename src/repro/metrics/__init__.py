@@ -1,0 +1,28 @@
+"""Measurement: spans, timelines, latency math, run-level collection."""
+
+from .collector import CheckpointStats, MetricsCollector
+from .percentiles import (
+    compose_latencies,
+    latency_from_segments,
+    rates_on_grid,
+    tail_summary,
+    weighted_quantile,
+    windowed_quantile,
+)
+from .spans import ActivitySpan, SpanLog
+from .timeline import StepSeries, millibottleneck_windows
+
+__all__ = [
+    "CheckpointStats",
+    "MetricsCollector",
+    "compose_latencies",
+    "latency_from_segments",
+    "rates_on_grid",
+    "tail_summary",
+    "weighted_quantile",
+    "windowed_quantile",
+    "ActivitySpan",
+    "SpanLog",
+    "StepSeries",
+    "millibottleneck_windows",
+]

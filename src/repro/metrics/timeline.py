@@ -1,0 +1,137 @@
+"""Step-series timelines (CPU utilization, queue length, rates).
+
+Simulation components record piecewise-constant histories as sparse
+``(time, value)`` breakpoints.  :class:`StepSeries` turns those into the
+uniform 50 ms grids the paper's point-in-time analysis uses (Figure 6),
+with helpers for means, maxima and saturation detection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["StepSeries", "millibottleneck_windows"]
+
+
+class StepSeries:
+    """A piecewise-constant series defined by ``(time, value)`` points.
+
+    The value at time ``t`` is the value of the latest breakpoint with
+    ``time <= t`` (0 before the first breakpoint).
+    """
+
+    def __init__(self, points: Iterable[Tuple[float, float]]) -> None:
+        pts = sorted(points)
+        self._times = np.array([p[0] for p in pts], dtype=float)
+        self._values = np.array([p[1] for p in pts], dtype=float)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def breakpoints(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times.tolist(), self._values.tolist()))
+
+    def value_at(self, time: float) -> float:
+        idx = np.searchsorted(self._times, time, side="right") - 1
+        if idx < 0:
+            return 0.0
+        return float(self._values[idx])
+
+    def on_grid(self, start: float, end: float, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample on a uniform grid; returns ``(times, values)``."""
+        if end <= start:
+            raise AnalysisError(f"empty grid interval [{start}, {end}]")
+        times = np.arange(start, end, dt)
+        if len(self._times) == 0:
+            return times, np.zeros(len(times))
+        idx = np.searchsorted(self._times, times, side="right") - 1
+        values = np.where(idx >= 0, self._values[np.clip(idx, 0, None)], 0.0)
+        return times, values
+
+    def time_average(self, start: float, end: float) -> float:
+        """Exact time-weighted mean over ``[start, end]``."""
+        if end <= start:
+            raise AnalysisError("time_average over empty interval")
+        total = 0.0
+        current = self.value_at(start)
+        last = start
+        for t, v in zip(self._times, self._values):
+            if t <= start:
+                continue
+            if t >= end:
+                break
+            total += current * (t - last)
+            current = v
+            last = t
+        total += current * (end - last)
+        return total / (end - start)
+
+    def maximum(self, start: float, end: float) -> float:
+        value = self.value_at(start)
+        inside = self._values[(self._times > start) & (self._times < end)]
+        if len(inside):
+            value = max(value, float(inside.max()))
+        return value
+
+    def fraction_above(self, threshold: float, start: float, end: float) -> float:
+        """Fraction of ``[start, end]`` spent strictly above *threshold*."""
+        if end <= start:
+            raise AnalysisError("fraction_above over empty interval")
+        above = 0.0
+        current = self.value_at(start)
+        last = start
+        for t, v in zip(self._times, self._values):
+            if t <= start:
+                continue
+            if t >= end:
+                break
+            if current > threshold:
+                above += t - last
+            current = v
+            last = t
+        if current > threshold:
+            above += end - last
+        return above / (end - start)
+
+
+def millibottleneck_windows(
+    series: StepSeries,
+    capacity: float,
+    start: float,
+    end: float,
+    dt: float = 0.05,
+    saturation: float = 0.95,
+    min_duration: float = 0.05,
+    max_duration: float = 2.0,
+) -> List[Tuple[float, float]]:
+    """Find millibottlenecks: short full-saturation intervals.
+
+    Following the millibottleneck theory the paper builds on [38, 50],
+    a millibottleneck is a period where a resource is (nearly) 100 %
+    utilized for a fraction of a second — long enough to queue work,
+    too short to move average utilization.  Returns ``(start, end)``
+    windows where utilization ≥ ``saturation × capacity`` for between
+    *min_duration* and *max_duration* seconds.
+    """
+    times, values = series.on_grid(start, end, dt)
+    hot = values >= saturation * capacity
+    windows: List[Tuple[float, float]] = []
+    i = 0
+    n = len(hot)
+    while i < n:
+        if hot[i]:
+            j = i
+            while j < n and hot[j]:
+                j += 1
+            duration = (j - i) * dt
+            if min_duration <= duration <= max_duration:
+                windows.append((float(times[i]), float(times[i] + duration)))
+            i = j
+        else:
+            i += 1
+    return windows

@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel.
+
+The kernel is generic: a clock plus an event heap
+(:class:`~repro.sim.kernel.Simulator`), generator processes
+(:func:`~repro.sim.process.spawn`), processor-sharing resources
+(:class:`~repro.sim.resource.ProcessorSharingResource`), fluid message
+flows (:class:`~repro.sim.fluid.FluidFlow`) and bounded thread pools
+(:class:`~repro.sim.threadpool.SimThreadPool`).  The stream engine and
+the LSM store are built on these five primitives.
+"""
+
+from .disturbances import (
+    ColocationInterferenceInjector,
+    DvfsThrottleInjector,
+    GcPauseInjector,
+)
+from .events import Event, EventQueue, HIGH_PRIORITY, LOW_PRIORITY, NORMAL_PRIORITY
+from .fluid import FlowSegment, FluidFlow
+from .kernel import Simulator
+from .process import Process, Signal, spawn
+from .resource import ProcessorSharingResource, ResourceTask
+from .rng import RngRegistry
+from .threadpool import JobPhase, SimJob, SimThreadPool
+
+__all__ = [
+    "ColocationInterferenceInjector",
+    "DvfsThrottleInjector",
+    "GcPauseInjector",
+    "Event",
+    "EventQueue",
+    "HIGH_PRIORITY",
+    "LOW_PRIORITY",
+    "NORMAL_PRIORITY",
+    "FlowSegment",
+    "FluidFlow",
+    "Simulator",
+    "Process",
+    "Signal",
+    "spawn",
+    "ProcessorSharingResource",
+    "ResourceTask",
+    "RngRegistry",
+    "JobPhase",
+    "SimJob",
+    "SimThreadPool",
+]

@@ -1,0 +1,219 @@
+"""Other sources of ShadowSync: capacity disturbances (§6).
+
+The paper's discussion section names further asynchronous events that
+can overlap with checkpoints and each other — JVM garbage collection,
+CPU DVFS throttling, and interference from co-located VMs — and leaves
+them to future work.  This module models them as *capacity
+disturbances*: transient reductions of a node's effective CPU capacity,
+injected on top of a running job.
+
+* :class:`GcPauseInjector` — periodic stop-the-world pauses.  The paper
+  observes that GCs cluster around flush activity (Flink churns through
+  many objects during a checkpoint), modelled by an optional bias that
+  shifts each pause towards the next checkpoint time.
+* :class:`DvfsThrottleInjector` — random windows at a reduced frequency
+  (capacity × factor), with exponential inter-arrival times.
+* :class:`ColocationInterferenceInjector` — a noisy neighbour stealing
+  a fixed share of the node for random intervals.
+
+Each injector records its ``(node, start, end)`` windows so analyses can
+correlate the resulting latency spikes with their cause.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .kernel import Simulator
+from .process import spawn
+from .resource import ProcessorSharingResource
+
+__all__ = [
+    "GcPauseInjector",
+    "DvfsThrottleInjector",
+    "ColocationInterferenceInjector",
+]
+
+#: Capacity is never set to exactly zero (the PS resource needs a
+#: positive value); a stop-the-world pause leaves this many cores.
+_STOPPED_CAPACITY = 1e-3
+
+
+class _CapacityDisturbance:
+    """Shared machinery: dip a resource's capacity, then restore it."""
+
+    def __init__(self) -> None:
+        #: Recorded disturbance windows: (resource_name, start, end).
+        self.windows: List[Tuple[str, float, float]] = []
+
+    def _dip(
+        self,
+        sim: Simulator,
+        resource: ProcessorSharingResource,
+        factor: float,
+        duration: float,
+    ):
+        """A generator process: reduce capacity by *factor* for
+        *duration* seconds.
+
+        Nesting state lives on the *resource* so dips from different
+        injectors (a GC pause during a DVFS window) compose correctly:
+        the undisturbed capacity is saved once, overlapping dips are
+        not compounded, and the capacity is restored only when the last
+        overlapping dip ends.
+        """
+        name = resource.name
+        start = sim.now
+        depth = getattr(resource, "_disturbance_depth", 0)
+        if depth == 0:
+            resource._undisturbed_capacity = resource.capacity
+        resource._disturbance_depth = depth + 1
+        original = resource._undisturbed_capacity
+        resource.set_capacity(max(original * factor, _STOPPED_CAPACITY))
+        yield duration
+        resource._disturbance_depth -= 1
+        if resource._disturbance_depth == 0:
+            resource.set_capacity(resource._undisturbed_capacity)
+        self.windows.append((name, start, sim.now))
+
+
+class GcPauseInjector(_CapacityDisturbance):
+    """Periodic JVM stop-the-world garbage-collection pauses."""
+
+    def __init__(
+        self,
+        interval_s: float = 20.0,
+        pause_s: float = 0.25,
+        jitter: float = 0.3,
+        checkpoint_bias: float = 0.0,
+        first_at_s: float = 5.0,
+    ) -> None:
+        super().__init__()
+        if interval_s <= 0 or pause_s <= 0:
+            raise ConfigurationError("interval and pause must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        if not 0.0 <= checkpoint_bias <= 1.0:
+            raise ConfigurationError("checkpoint_bias must be in [0, 1]")
+        self.interval_s = interval_s
+        self.pause_s = pause_s
+        self.jitter = jitter
+        self.checkpoint_bias = checkpoint_bias
+        self.first_at_s = first_at_s
+        self._checkpoint_times: List[float] = []
+
+    def note_checkpoint(self, time: float) -> None:
+        """Let the injector know checkpoint times (for the bias)."""
+        self._checkpoint_times.append(time)
+
+    def install(self, sim: Simulator, resource: ProcessorSharingResource) -> None:
+        rng = sim.rng.stream(f"gc/{resource.name}")
+
+        def loop():
+            yield self.first_at_s
+            while True:
+                spawn(sim, self._dip(sim, resource, 0.0, self.pause_s),
+                      name=f"gc-pause-{resource.name}")
+                wait = self.interval_s * (
+                    1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+                )
+                if self.checkpoint_bias > 0 and self._checkpoint_times:
+                    # pull the next pause towards the most recent
+                    # checkpoint cadence (GC pressure peaks there)
+                    period = self._cadence()
+                    if period is not None:
+                        phase = (sim.now + wait) % period
+                        wait -= self.checkpoint_bias * min(phase, wait * 0.5)
+                yield max(wait, self.pause_s)
+
+        spawn(sim, loop(), name=f"gc-injector-{resource.name}")
+
+    def _cadence(self) -> Optional[float]:
+        if len(self._checkpoint_times) < 2:
+            return None
+        gaps = [
+            b - a
+            for a, b in zip(self._checkpoint_times, self._checkpoint_times[1:])
+        ]
+        return sum(gaps) / len(gaps)
+
+
+class DvfsThrottleInjector(_CapacityDisturbance):
+    """Transient CPU frequency throttling under dynamic power control."""
+
+    def __init__(
+        self,
+        mean_interval_s: float = 15.0,
+        duration_s: float = 0.5,
+        frequency_factor: float = 0.6,
+        first_at_s: float = 3.0,
+    ) -> None:
+        super().__init__()
+        if mean_interval_s <= 0 or duration_s <= 0:
+            raise ConfigurationError("interval and duration must be positive")
+        if not 0.0 < frequency_factor < 1.0:
+            raise ConfigurationError("frequency_factor must be in (0, 1)")
+        self.mean_interval_s = mean_interval_s
+        self.duration_s = duration_s
+        self.frequency_factor = frequency_factor
+        self.first_at_s = first_at_s
+
+    def install(self, sim: Simulator, resource: ProcessorSharingResource) -> None:
+        rng = sim.rng.stream(f"dvfs/{resource.name}")
+
+        def loop():
+            yield self.first_at_s
+            while True:
+                spawn(
+                    sim,
+                    self._dip(sim, resource, self.frequency_factor, self.duration_s),
+                    name=f"dvfs-{resource.name}",
+                )
+                # exponential inter-arrivals (Poisson throttle events)
+                yield max(
+                    -self.mean_interval_s * math.log(1.0 - rng.random()),
+                    self.duration_s,
+                )
+
+        spawn(sim, loop(), name=f"dvfs-injector-{resource.name}")
+
+
+class ColocationInterferenceInjector(_CapacityDisturbance):
+    """A co-located tenant stealing a share of the node."""
+
+    def __init__(
+        self,
+        steal_fraction: float = 0.3,
+        mean_on_s: float = 2.0,
+        mean_off_s: float = 20.0,
+        first_at_s: float = 4.0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < steal_fraction < 1.0:
+            raise ConfigurationError("steal_fraction must be in (0, 1)")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ConfigurationError("on/off periods must be positive")
+        self.steal_fraction = steal_fraction
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        self.first_at_s = first_at_s
+
+    def install(self, sim: Simulator, resource: ProcessorSharingResource) -> None:
+        rng = sim.rng.stream(f"coloc/{resource.name}")
+
+        def loop():
+            yield self.first_at_s
+            while True:
+                on = -self.mean_on_s * math.log(1.0 - rng.random())
+                spawn(
+                    sim,
+                    self._dip(sim, resource, 1.0 - self.steal_fraction, on),
+                    name=f"coloc-{resource.name}",
+                )
+                yield on + max(
+                    -self.mean_off_s * math.log(1.0 - rng.random()), 0.1
+                )
+
+        spawn(sim, loop(), name=f"coloc-injector-{resource.name}")

@@ -1,0 +1,127 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` couples a firing time with a callback.  Events are
+totally ordered by ``(time, priority, sequence)`` so that simultaneous
+events fire deterministically in scheduling order unless a priority says
+otherwise.  Cancellation is lazy: a cancelled event stays in the heap but
+is skipped when popped, which keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+#: Default priority for events; lower fires first among equal times.
+NORMAL_PRIORITY = 0
+
+#: Priority used for bookkeeping events that must observe the state left
+#: behind by all normal events at the same timestamp.
+LOW_PRIORITY = 10
+
+#: Priority for control events that must precede normal work at a time.
+HIGH_PRIORITY = -10
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`EventQueue.push` (usually via
+    :meth:`repro.sim.kernel.Simulator.schedule`) and should be treated as
+    opaque handles whose only user-facing operation is :meth:`cancel`.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        queue: "Optional[EventQueue]" = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._queue = queue
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when its time comes."""
+        if not self._cancelled:
+            self._cancelled = True
+            if self._queue is not None:
+                self._queue._note_cancelled()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} prio={self.priority} {name} {state}>"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = NORMAL_PRIORITY,
+    ) -> Event:
+        """Schedule *callback* at *time* and return its handle."""
+        event = Event(time, priority, next(self._counter), callback, args, queue=self)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def discard(self, event: Event) -> None:
+        """Cancel *event* (synonym for ``event.cancel()``)."""
+        event.cancel()

@@ -1,0 +1,170 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the event queue.  All other
+components (CPUs, thread pools, the stream engine, the LSM store's
+background jobs) schedule work on one shared ``Simulator``.
+
+The kernel is deliberately small: a monotonically advancing clock, an
+event heap, generator-based processes layered on top (see
+:mod:`repro.sim.process`), and a couple of run-loop variants.  Determinism
+is a first-class property — two runs with the same seed and configuration
+produce identical traces, which the test suite relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .events import Event, EventQueue, HIGH_PRIORITY, LOW_PRIORITY, NORMAL_PRIORITY
+from .rng import RngRegistry
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the per-component RNG registry (see
+        :class:`repro.sim.rng.RngRegistry`).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 2.0]
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._events_fired = 0
+        self.rng = RngRegistry(seed)
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = NORMAL_PRIORITY,
+    ) -> Event:
+        """Schedule *callback(*args)* at absolute simulation *time*."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        return self._queue.push(max(time, self._now), callback, args, priority)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = NORMAL_PRIORITY,
+    ) -> Event:
+        """Schedule *callback* ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, callback, *args, priority=priority)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *callback* at the current time, after pending
+        same-time events of normal priority."""
+        return self.schedule(self._now, callback, *args, priority=LOW_PRIORITY)
+
+    def call_urgent(self, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *callback* at the current time ahead of normal events."""
+        return self.schedule(self._now, callback, *args, priority=HIGH_PRIORITY)
+
+    # ------------------------------------------------------------------
+    # run loops
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single earliest event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was
+        empty.
+        """
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now - 1e-9:
+            raise SimulationError(
+                f"event queue yielded past event {event!r} at now={self._now}"
+            )
+        self._now = max(self._now, event.time)
+        self._events_fired += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains or the clock would pass *until*.
+
+        When *until* is given, the clock is advanced exactly to *until*
+        even if no event lands there, so follow-up calls resume cleanly.
+        *max_events* (if given) bounds the number of events executed by
+        this call and raises :class:`SimulationError` when exceeded — a
+        guard against event-cascade bugs in user models.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until + 1e-12:
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"run() exceeded max_events={max_events} at t={self._now}"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Run for *duration* simulated seconds from the current time."""
+        self.run(until=self._now + duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator now={self._now:.6f} pending={len(self._queue)} "
+            f"fired={self._events_fired}>"
+        )

@@ -1,0 +1,278 @@
+"""Processor-sharing resources: the millibottleneck substrate.
+
+A :class:`ProcessorSharingResource` models a pool of identical capacity
+units — CPU cores (units = cores) or a storage device (units = MB/s of
+bandwidth) — shared by two kinds of consumers:
+
+* **Tasks** (:class:`ResourceTask`): finite jobs with a fixed amount of
+  work (CPU-seconds, megabytes) and a parallelism cap (a single
+  compaction thread can use at most 1 core).  Flush and compaction jobs
+  are tasks.
+* **Flows** (:class:`FluidFlow`, see :mod:`repro.sim.fluid`): elastic,
+  open-ended consumers representing message processing.  A flow exposes
+  a demand (units it could use right now) that depends on its backlog.
+
+Allocation is *proportional fair with caps*, which models an OS
+fair-share scheduler across runnable threads: when the sum of demands
+exceeds capacity every consumer is scaled by ``capacity / total_demand``.
+This is exactly the mechanism behind the paper's millibottlenecks — a
+burst of compaction tasks inflates total demand, the message-processing
+flow's share collapses below its arrival rate, and queues build within
+hundreds of milliseconds even though average utilization is moderate.
+
+The resource keeps a piecewise-constant utilization timeline so
+experiments can reproduce the paper's 50 ms point-in-time CPU plots
+(Figure 6a).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import SimulationError
+from .events import Event, LOW_PRIORITY
+from .kernel import Simulator
+
+__all__ = ["ResourceTask", "ProcessorSharingResource"]
+
+#: Queue lengths below this are treated as empty (float hygiene).
+_EPS = 1e-9
+
+
+class ResourceTask:
+    """A finite job running on a :class:`ProcessorSharingResource`.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (shows up in activity spans).
+    kind:
+        Category used by metrics, e.g. ``"flush"`` or ``"compaction"``.
+    work:
+        Total work in resource units × seconds (CPU-seconds, MB).
+    demand:
+        Maximum units the task can consume at once (thread count × 1 core).
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "work",
+        "demand",
+        "remaining",
+        "rate",
+        "on_complete",
+        "start_time",
+        "end_time",
+        "metadata",
+        "_completion_event",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        work: float,
+        demand: float = 1.0,
+        on_complete: Optional[Callable[["ResourceTask"], None]] = None,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        if work <= 0:
+            raise SimulationError(f"task {name!r} has non-positive work {work}")
+        if demand <= 0:
+            raise SimulationError(f"task {name!r} has non-positive demand {demand}")
+        self.name = name
+        self.kind = kind
+        self.work = work
+        self.demand = demand
+        self.remaining = work
+        self.rate = 0.0
+        self.on_complete = on_complete
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.metadata = metadata or {}
+        self._completion_event: Optional[Event] = None
+
+    @property
+    def done(self) -> bool:
+        return self.end_time is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResourceTask {self.name!r} kind={self.kind} "
+            f"remaining={self.remaining:.4f}/{self.work:.4f}>"
+        )
+
+
+class ProcessorSharingResource:
+    """A capacity pool shared proportionally among tasks and flows."""
+
+    def __init__(self, sim: Simulator, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"resource {name!r} needs positive capacity")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._tasks: List[ResourceTask] = []
+        self._flows: list = []  # List[FluidFlow]; untyped to avoid import cycle
+        self._last_sync = sim.now
+        #: Piecewise-constant utilization: list of ``(time, used_units)``.
+        self.util_segments: List[tuple] = []
+        #: Observers called with (task, "start"|"end") for span metrics.
+        self.task_observers: List[Callable[[ResourceTask, str], None]] = []
+        self._realloc_scheduled = False
+
+    # ------------------------------------------------------------------
+    # consumer registration
+    # ------------------------------------------------------------------
+
+    def add_flow(self, flow) -> None:
+        """Attach a :class:`~repro.sim.fluid.FluidFlow` to this resource."""
+        self._flows.append(flow)
+        flow._attached(self)
+        self.reallocate()
+
+    def submit(self, task: ResourceTask) -> ResourceTask:
+        """Start *task* now; its completion callback fires when the
+        (contention-dependent) work is done."""
+        task.start_time = self.sim.now
+        self._tasks.append(task)
+        for observer in self.task_observers:
+            observer(task, "start")
+        self.reallocate()
+        return task
+
+    @property
+    def running_tasks(self) -> List[ResourceTask]:
+        return list(self._tasks)
+
+    def running_count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self._tasks)
+        return sum(1 for t in self._tasks if t.kind == kind)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the pool's capacity (DVFS throttling, GC pauses).
+
+        Running tasks and flows are immediately re-sized; the old
+        capacity is not remembered — callers restore it themselves.
+        """
+        if capacity <= 0:
+            raise SimulationError(f"resource {self.name!r}: capacity must be > 0")
+        if capacity != self.capacity:
+            self.capacity = capacity
+            self.reallocate()
+
+    def request_reallocation(self) -> None:
+        """Coalesce multiple same-time reallocation triggers into one."""
+        if self._realloc_scheduled:
+            return
+        self._realloc_scheduled = True
+        self.sim.schedule(self.sim.now, self._deferred_realloc, priority=LOW_PRIORITY)
+
+    def _deferred_realloc(self) -> None:
+        self._realloc_scheduled = False
+        self.reallocate()
+
+    def reallocate(self) -> None:
+        """Recompute every consumer's share; reschedule completions.
+
+        Called whenever the consumer set or any demand changes.
+        """
+        now = self.sim.now
+        self._sync_tasks(now)
+        for flow in self._flows:
+            flow.sync(now)
+
+        # Fixpoint over flow demand escalation: a flow that would be
+        # underserved at its keep-up demand becomes backlogged and raises
+        # its demand to its parallelism cap.  Demands only ever increase
+        # inside this loop, so it terminates.
+        demands = {id(flow): flow.current_demand() for flow in self._flows}
+        task_demand = sum(task.demand for task in self._tasks)
+        for _ in range(len(self._flows) + 1):
+            total = task_demand + sum(demands.values())
+            scale = 1.0 if total <= self.capacity else self.capacity / total
+            changed = False
+            for flow in self._flows:
+                alloc = demands[id(flow)] * scale
+                escalated = flow.escalated_demand(alloc)
+                if escalated is not None and escalated > demands[id(flow)] + _EPS:
+                    demands[id(flow)] = escalated
+                    changed = True
+            if not changed:
+                break
+
+        total = task_demand + sum(demands.values())
+        scale = 1.0 if total <= self.capacity else self.capacity / total
+
+        used = 0.0
+        for task in self._tasks:
+            task.rate = task.demand * scale
+            used += task.rate
+            self._reschedule_completion(task, now)
+        for flow in self._flows:
+            alloc = demands[id(flow)] * scale
+            used += flow.apply_allocation(alloc, now)
+
+        self._record_util(now, used)
+
+    def _sync_tasks(self, now: float) -> None:
+        elapsed = now - self._last_sync
+        if elapsed > 0:
+            for task in self._tasks:
+                task.remaining = max(0.0, task.remaining - task.rate * elapsed)
+        self._last_sync = now
+
+    def _reschedule_completion(self, task: ResourceTask, now: float) -> None:
+        if task._completion_event is not None:
+            task._completion_event.cancel()
+        if task.rate <= 0:
+            task._completion_event = None
+            return
+        finish = now + task.remaining / task.rate
+        task._completion_event = self.sim.schedule(finish, self._complete, task)
+
+    def _complete(self, task: ResourceTask) -> None:
+        now = self.sim.now
+        self._sync_tasks(now)
+        task.remaining = 0.0
+        task.end_time = now
+        task.rate = 0.0
+        task._completion_event = None
+        self._tasks.remove(task)
+        for observer in self.task_observers:
+            observer(task, "end")
+        if task.on_complete is not None:
+            task.on_complete(task)
+        self.reallocate()
+
+    def _record_util(self, now: float, used: float) -> None:
+        used = min(used, self.capacity)
+        if self.util_segments and abs(self.util_segments[-1][0] - now) < _EPS:
+            self.util_segments[-1] = (now, used)
+        elif not self.util_segments or abs(self.util_segments[-1][1] - used) > 1e-6:
+            self.util_segments.append((now, used))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def utilization_at(self, time: float) -> float:
+        """Units in use at *time* (0 before the first segment)."""
+        result = 0.0
+        for seg_time, used in self.util_segments:
+            if seg_time > time:
+                break
+            result = used
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ProcessorSharingResource {self.name!r} capacity={self.capacity} "
+            f"tasks={len(self._tasks)} flows={len(self._flows)}>"
+        )

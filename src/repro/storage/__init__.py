@@ -1,0 +1,13 @@
+"""Storage backends (tmpfs / NVMe / HDD profiles) and HDFS backup."""
+
+from .backend import HDD, NVME_SSD, TMPFS, StorageProfile, profile_by_name
+from .hdfs import HdfsBackup
+
+__all__ = [
+    "HDD",
+    "NVME_SSD",
+    "TMPFS",
+    "StorageProfile",
+    "profile_by_name",
+    "HdfsBackup",
+]

@@ -1,0 +1,90 @@
+"""Storage backends: where SSTables live.
+
+The paper runs RocksDB on in-memory *tmpfs* (the headline experiments)
+and on *NVMe SSDs* (§5.3), with HDFS as asynchronous remote backup.
+What the experiments need from a backend is only its contribution to
+flush/compaction duration: a write/read bandwidth shared by concurrent
+jobs and a fixed per-operation latency.  Each worker node instantiates
+one device resource per backend (see
+:class:`~repro.stream.worker.WorkerNode`), so concurrent flushes share
+bandwidth exactly like threads share CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["StorageProfile", "TMPFS", "NVME_SSD", "HDD", "profile_by_name"]
+
+
+@dataclass(frozen=True)
+class StorageProfile:
+    """Performance envelope of one storage technology."""
+
+    name: str
+    #: Sequential write bandwidth available to one node, MB/s.
+    write_bandwidth_mb_s: float
+    #: Sequential read bandwidth available to one node, MB/s.
+    read_bandwidth_mb_s: float
+    #: Fixed setup latency charged per operation (file create, fsync).
+    per_op_latency_s: float = 0.0
+    #: CPU-seconds per MB moved through this backend — the kernel block
+    #: layer, interrupt handling and copy costs that a tmpfs write does
+    #: not pay.  This is why the paper measures *worse* tails on NVMe
+    #: than on tmpfs (§5.3): every flush and compaction burns extra CPU
+    #: in exactly the windows that are already contended.
+    io_cpu_seconds_per_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.write_bandwidth_mb_s <= 0 or self.read_bandwidth_mb_s <= 0:
+            raise ConfigurationError(f"backend {self.name!r}: bandwidth must be > 0")
+        if self.per_op_latency_s < 0:
+            raise ConfigurationError(f"backend {self.name!r}: negative latency")
+
+    def write_work_mb(self, nbytes: float) -> float:
+        """Device work units (MB) for writing *nbytes*."""
+        return nbytes / 1e6
+
+    def read_work_mb(self, nbytes: float) -> float:
+        return nbytes / 1e6
+
+    @property
+    def device_capacity(self) -> float:
+        """Capacity of the shared device resource in MB/s.
+
+        Reads and writes share one sequential-bandwidth budget; we use
+        the write figure, the binding constraint for flush/compaction.
+        """
+        return self.write_bandwidth_mb_s
+
+
+#: In-memory tmpfs: effectively free I/O — the paper's headline config,
+#: chosen exactly so that ShadowSync is a pure-CPU phenomenon.
+TMPFS = StorageProfile("tmpfs", write_bandwidth_mb_s=20000.0,
+                       read_bandwidth_mb_s=20000.0, per_op_latency_s=0.0)
+
+#: A datacenter NVMe SSD (§5.3): fast, but flush/compaction I/O is no
+#: longer negligible, lengthening every activity and hence every
+#: ShadowSync window.
+NVME_SSD = StorageProfile("nvme", write_bandwidth_mb_s=1200.0,
+                          read_bandwidth_mb_s=2500.0, per_op_latency_s=0.0005,
+                          io_cpu_seconds_per_mb=0.06)
+
+#: A spinning disk, for ablations far outside the paper's envelope.
+HDD = StorageProfile("hdd", write_bandwidth_mb_s=150.0,
+                     read_bandwidth_mb_s=180.0, per_op_latency_s=0.004,
+                     io_cpu_seconds_per_mb=0.08)
+
+_PROFILES = {p.name: p for p in (TMPFS, NVME_SSD, HDD)}
+
+
+def profile_by_name(name: str) -> StorageProfile:
+    """Look up a built-in profile (``tmpfs`` / ``nvme`` / ``hdd``)."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown storage profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from None

@@ -1,0 +1,140 @@
+"""The checkpoint coordinator (Flink's periodic, coordinated snapshots).
+
+Every ``interval_s`` the coordinator triggers a global checkpoint: each
+stateful stage instance flushes its memtable (the synchronous part that
+stalls that instance), and when every flush of the checkpoint has
+completed the new SSTables are shipped asynchronously to HDFS.  The
+trigger is *simultaneous across all instances* — the second
+pre-condition of ShadowSync (§4.1): hundreds of flushes start together,
+so any compactions they trip also start together.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import CheckpointConfig
+from ..metrics.collector import MetricsCollector
+from ..sim.kernel import Simulator
+from ..sim.process import spawn
+from ..storage.hdfs import HdfsBackup
+from .stage import Stage
+from .state_backend import LSMStateBackend
+
+__all__ = ["CheckpointRecord", "CheckpointCoordinator"]
+
+
+class CheckpointRecord:
+    """Outcome of one checkpoint."""
+
+    __slots__ = ("checkpoint_id", "triggered_at", "completed_at", "bytes", "flushes")
+
+    def __init__(self, checkpoint_id: int, triggered_at: float) -> None:
+        self.checkpoint_id = checkpoint_id
+        self.triggered_at = triggered_at
+        self.completed_at: Optional[float] = None
+        self.bytes = 0
+        self.flushes = 0
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.triggered_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Checkpoint #{self.checkpoint_id} at {self.triggered_at:.1f}s "
+            f"bytes={self.bytes} flushes={self.flushes}>"
+        )
+
+
+class CheckpointCoordinator:
+    """Triggers checkpoints and tracks their completion."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: CheckpointConfig,
+        stages: List[Stage],
+        backend: LSMStateBackend,
+        collector: Optional[MetricsCollector] = None,
+        hdfs: Optional[HdfsBackup] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.stages = stages
+        self.backend = backend
+        self.collector = collector
+        self.hdfs = hdfs
+        self.records: List[CheckpointRecord] = []
+        self._next_id = 0
+        self._in_flight = 0
+        self.skipped_overlapping = 0
+        #: Callbacks invoked with the trigger time of every checkpoint.
+        self.on_trigger: List = []
+
+    def start(self) -> None:
+        spawn(self.sim, self._loop(), name="checkpoint-coordinator")
+
+    def _loop(self):
+        yield max(0.0, self.config.first_at_s - self.sim.now)
+        while True:
+            self.trigger()
+            yield self.config.interval_s
+
+    # ------------------------------------------------------------------
+
+    def trigger(self) -> Optional[CheckpointRecord]:
+        """Fire one checkpoint now; returns its record (or ``None`` when
+        an overlapping checkpoint was rejected by configuration)."""
+        if not self.config.allow_overlap and self._in_flight > 0:
+            self.skipped_overlapping += 1
+            return None
+        self._next_id += 1
+        record = CheckpointRecord(self._next_id, self.sim.now)
+        self.records.append(record)
+        if self.collector is not None:
+            self.collector.note_checkpoint(self.sim.now)
+        for callback in self.on_trigger:
+            callback(self.sim.now)
+
+        pending = [0]  # boxed counter shared by the ack closures
+        self._in_flight += 1
+
+        def ack(nbytes: int, record: CheckpointRecord = record) -> None:
+            record.bytes += nbytes
+            if nbytes > 0:
+                record.flushes += 1
+            pending[0] -= 1
+            if pending[0] == 0:
+                self._complete(record)
+
+        instances = [
+            instance
+            for stage in self.stages
+            if stage.spec.stateful
+            for instance in stage.instances
+        ]
+        pending[0] = len(instances)
+        if not instances:
+            self._complete(record)
+            return record
+        for instance in instances:
+            self.backend.flush_instance(instance, reason="checkpoint", on_done=ack)
+        return record
+
+    def _complete(self, record: CheckpointRecord) -> None:
+        record.completed_at = self.sim.now
+        self._in_flight -= 1
+        if self.hdfs is not None:
+            self.hdfs.backup(record.checkpoint_id, record.bytes)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def completed(self) -> List[CheckpointRecord]:
+        return [r for r in self.records if r.completed_at is not None]
+
+    def checkpoint_times(self) -> List[float]:
+        return [r.triggered_at for r in self.records]

@@ -1,0 +1,480 @@
+"""The stream job: construction, wiring and execution.
+
+:class:`StreamJob` assembles a complete simulated deployment from
+declarative pieces — stage specs, a source, cluster/cost/checkpoint
+configs and a :class:`~repro.core.mitigation.MitigationPlan` — runs it,
+and returns a :class:`StreamJobResult` with every measurement the
+paper's figures need.
+
+Wiring overview::
+
+    source ──λ──> s0 flows ──rate──> s1 flows ──rate──> s2 flow
+                   │   per (stage, node); share the node CPU with
+                   │   flush / compaction tasks from the pools
+    checkpoints ──> state backend ──> flush pool ──> L0 counters
+                                           └──────> compaction pool
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..config import CheckpointConfig, ClusterConfig, CostModel
+from ..core.mitigation import MitigationPlan
+from ..errors import ConfigurationError, SimulationError
+from ..lsm.options import LSMOptions
+from ..lsm.sstable import SSTable
+from ..metrics.collector import MetricsCollector
+from ..metrics.percentiles import (
+    compose_latencies,
+    latency_from_segments,
+    tail_summary,
+    windowed_quantile,
+)
+from ..metrics.timeline import StepSeries
+from ..sim.fluid import FluidFlow
+from ..sim.kernel import Simulator
+from ..sim.process import spawn
+from ..storage.hdfs import HdfsBackup
+from .checkpoint import CheckpointCoordinator
+from .sources import ConstantSource
+from .stage import Stage, StageInstance, StageSpec
+from .state_backend import LSMStateBackend
+from .worker import WorkerNode
+
+__all__ = ["StreamJob", "StreamJobResult"]
+
+InitialL0 = Union[int, Callable[[StageInstance], int]]
+
+
+class StreamJob:
+    """A runnable streaming dataflow on a simulated cluster."""
+
+    def __init__(
+        self,
+        stages: Sequence[StageSpec],
+        source: ConstantSource,
+        cluster: Optional[ClusterConfig] = None,
+        cost: Optional[CostModel] = None,
+        checkpoint: Optional[CheckpointConfig] = None,
+        mitigation: Optional[MitigationPlan] = None,
+        lsm_options_factory: Optional[Callable[[StageSpec, int], LSMOptions]] = None,
+        initial_l0: Optional[Dict[str, InitialL0]] = None,
+        seed: int = 0,
+        accounting_dt: float = 1.0,
+        sample_real_state: bool = True,
+        disturbances: Optional[list] = None,
+    ) -> None:
+        if not stages:
+            raise ConfigurationError("a job needs at least one stage")
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("stage names must be unique")
+
+        self.sim = Simulator(seed)
+        self.cluster = cluster or ClusterConfig()
+        self.cost = cost or CostModel()
+        self.checkpoint_config = checkpoint or CheckpointConfig()
+        self.mitigation = mitigation or MitigationPlan.baseline()
+        self.source = source
+        self.accounting_dt = accounting_dt
+        self.sample_real_state = sample_real_state
+        self._started = False
+
+        default_options = LSMOptions()
+        flush_threads, compaction_threads = self.mitigation.pool_sizes(
+            default_options.max_background_flushes,
+            default_options.max_background_compactions,
+        )
+
+        # --- nodes -----------------------------------------------------
+        self.nodes: List[WorkerNode] = [
+            WorkerNode(
+                self.sim,
+                f"node{i}",
+                cores=self.cluster.cores_per_node,
+                storage=self.cluster.storage,
+                flush_threads=flush_threads,
+                compaction_threads=compaction_threads,
+            )
+            for i in range(self.cluster.num_nodes)
+        ]
+        self.hdfs = HdfsBackup(self.sim, self.cluster.backup_uplink_mb_s)
+
+        # --- metrics ---------------------------------------------------
+        self.collector = MetricsCollector()
+        for node in self.nodes:
+            self.collector.watch_resource(node.cpu)
+            self.collector.watch_pool(node.flush_pool, node.name)
+            self.collector.watch_pool(node.compaction_pool, node.name)
+
+        # --- stages, instances, flows -----------------------------------
+        self.stages: List[Stage] = []
+        for spec in stages:
+            stage = Stage(spec)
+            for index in range(spec.parallelism):
+                node = self.nodes[index % len(self.nodes)]
+                options = (
+                    lsm_options_factory(spec, index)
+                    if lsm_options_factory is not None
+                    else LSMOptions()
+                )
+                if spec.distinct_keys and options.live_data_cap_bytes is None:
+                    options.live_data_cap_bytes = int(
+                        1.3
+                        * spec.distinct_keys_per_instance
+                        * (spec.state_entry_bytes + options.entry_overhead_bytes)
+                    )
+                instance = StageInstance(spec, index, node, options)
+                stage.add_instance(instance)
+                node.host(instance)
+            self.stages.append(stage)
+
+        # Flink runs one processing thread per task *slot*, and slots are
+        # sized to the core count — so a node's stages share ``cores``
+        # processing threads, split here in proportion to hosted
+        # instances.  This cap is what lets a compaction burst halve the
+        # processing share instead of being politely absorbed.
+        instances_per_node: Dict[str, int] = {}
+        for stage in self.stages:
+            for node_name, hosted in stage.instances_by_node.items():
+                instances_per_node[node_name] = (
+                    instances_per_node.get(node_name, 0) + len(hosted)
+                )
+        for stage in self.stages:
+            spec = stage.spec
+            for node_name, hosted in stage.instances_by_node.items():
+                node = self._node(node_name)
+                slots = node.cores * len(hosted) / instances_per_node[node_name]
+                flow = FluidFlow(
+                    self.sim,
+                    name=f"{spec.name}@{node_name}",
+                    work_per_message=self.cost.cpu_seconds_per_message
+                    * spec.work_multiplier,
+                    max_parallelism=min(float(len(hosted)), slots),
+                )
+                stage.flows[node_name] = flow
+                node.cpu.add_flow(flow)
+
+        # --- state backend + checkpointing -------------------------------
+        self.backend = LSMStateBackend(
+            self.sim,
+            self.cost,
+            self.mitigation,
+            incremental_checkpoints=self.checkpoint_config.incremental,
+        )
+        for stage in self.stages:
+            self.backend.register_stage(stage)
+        self.coordinator = CheckpointCoordinator(
+            self.sim,
+            self.checkpoint_config,
+            self.stages,
+            self.backend,
+            collector=self.collector,
+            hdfs=self.hdfs,
+        )
+
+        # --- rate wiring --------------------------------------------------
+        # Downstream arrival-rate updates are coalesced and applied after
+        # a short propagation delay (network hop + output batching).
+        # Besides being physically honest, the delay breaks the
+        # instantaneous feedback loop between stages sharing a CPU,
+        # which could otherwise livelock at a single timestamp.
+        self.rate_propagation_delay_s = 0.05
+        self._downstream_update_pending = [False] * len(self.stages)
+        for upstream_index, stage in enumerate(self.stages[:-1]):
+            for flow in stage.flows.values():
+                flow.output_listeners.append(
+                    lambda _rate, k=upstream_index: self._queue_downstream_update(k)
+                )
+
+        if initial_l0:
+            self._preload_l0(initial_l0)
+
+        # --- §6 capacity disturbances (GC, DVFS, colocation) -------------
+        self.disturbances = list(disturbances or [])
+        for disturbance in self.disturbances:
+            for node in self.nodes:
+                disturbance.install(self.sim, node.cpu)
+            if hasattr(disturbance, "note_checkpoint"):
+                self.coordinator.on_trigger.append(disturbance.note_checkpoint)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _node(self, name: str) -> WorkerNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise SimulationError(f"unknown node {name!r}")
+
+    def stage(self, name: str) -> Stage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise ConfigurationError(f"unknown stage {name!r}")
+
+    def expected_stage_rate(self, index: int) -> float:
+        """Steady input rate of stage *index* given the source rate."""
+        rate = self.source.steady_rate()
+        for stage in self.stages[:index]:
+            rate *= stage.spec.selectivity
+        return rate
+
+    def expected_flush_bytes(self, spec: StageSpec, stage_index: int) -> float:
+        """Expected memtable bytes accumulated per checkpoint interval."""
+        per_instance_rate = self.expected_stage_rate(stage_index) / spec.parallelism
+        accumulated = (
+            per_instance_rate
+            * spec.state_entry_bytes
+            * self.checkpoint_config.interval_s
+        )
+        if spec.distinct_keys:
+            saturated = spec.distinct_keys_per_instance * spec.state_entry_bytes
+            return min(accumulated, saturated)
+        return accumulated
+
+    def _preload_l0(self, initial_l0: Dict[str, InitialL0]) -> None:
+        """Install synthetic L0 SSTables to set each store's counter
+        phase — the 'initial condition' of §3.3."""
+        for stage_index, stage in enumerate(self.stages):
+            setting = initial_l0.get(stage.name)
+            if setting is None:
+                continue
+            size = int(self.expected_flush_bytes(stage.spec, stage_index))
+            for instance in stage.instances:
+                if instance.store is None:
+                    continue
+                count = setting(instance) if callable(setting) else int(setting)
+                trigger = instance.store.options.l0_compaction_trigger
+                if count < 0 or count >= trigger:
+                    raise ConfigurationError(
+                        f"initial L0 count {count} must be in [0, {trigger})"
+                    )
+                for _ in range(count):
+                    instance.store.levels.add_l0(
+                        SSTable([], logical_bytes=size, level=0)
+                    )
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def set_source_rate(self, rate: float) -> None:
+        stage0 = self.stages[0]
+        hosting = stage0.nodes()
+        for node_name in hosting:
+            stage0.flows[node_name].set_arrival_rate(rate / len(hosting))
+
+    def _queue_downstream_update(self, upstream_index: int) -> None:
+        if self._downstream_update_pending[upstream_index]:
+            return
+        self._downstream_update_pending[upstream_index] = True
+        self.sim.schedule_after(
+            self.rate_propagation_delay_s, self._update_downstream, upstream_index
+        )
+
+    def _update_downstream(self, upstream_index: int) -> None:
+        self._downstream_update_pending[upstream_index] = False
+        upstream = self.stages[upstream_index]
+        downstream = self.stages[upstream_index + 1]
+        total = upstream.total_output_rate()
+        hosting = downstream.nodes()
+        for node_name in hosting:
+            downstream.flows[node_name].set_arrival_rate(total / len(hosting))
+
+    def _account_loop(self, instance: StageInstance, stage: Stage):
+        store = instance.store
+        spec = stage.spec
+        tick = 0
+        while True:
+            yield self.accounting_dt
+            tick += 1
+            flow = stage.flows[instance.node.name]
+            hosted = len(stage.instances_by_node[instance.node.name])
+            rate = flow.arrival_rate / hosted
+            updates = rate * self.accounting_dt
+            if updates <= 0:
+                continue
+            # Keyed state overwrites in place: a memtable grows until it
+            # holds every distinct key this instance owns, then updates
+            # stop adding bytes (see StageSpec.distinct_keys).
+            if spec.distinct_keys:
+                capacity = spec.distinct_keys_per_instance
+                new_entries = min(updates, max(0.0, capacity - store.memtable_entries))
+            else:
+                new_entries = updates
+            if new_entries >= 1.0:
+                store.account(
+                    int(round(new_entries)),
+                    int(round(new_entries * spec.state_entry_bytes)),
+                )
+            if self.sample_real_state:
+                key_space = int(spec.distinct_keys_per_instance) or 997
+                key = f"{instance.name}:{tick % key_space}".encode()
+                payload = b"x" * min(int(spec.state_entry_bytes) or 1, 1024)
+                store.put(key, payload)
+            if store.memtable_full and instance.flush_in_flight == 0:
+                self.backend.flush_instance(instance, reason="memtable-full")
+
+    def run(self, duration: float) -> "StreamJobResult":
+        """Run for *duration* simulated seconds and collect results."""
+        if self._started:
+            raise SimulationError("a StreamJob can only be run once")
+        self._started = True
+        self.source.start(self.sim, self.set_source_rate)
+        self.coordinator.start()
+        for stage in self.stages:
+            if not stage.spec.stateful or stage.spec.state_entry_bytes <= 0:
+                continue
+            for instance in stage.instances:
+                spawn(
+                    self.sim,
+                    self._account_loop(instance, stage),
+                    name=f"account-{instance.name}",
+                )
+        self.sim.run(until=duration)
+        for stage in self.stages:
+            for flow in stage.flows.values():
+                flow.finalize(self.sim.now)
+        return StreamJobResult(self, duration)
+
+
+class StreamJobResult:
+    """Measurements of one finished run."""
+
+    def __init__(self, job: StreamJob, duration: float) -> None:
+        self.job = job
+        self.duration = duration
+        self.collector = job.collector
+        self.coordinator = job.coordinator
+        self.spans = job.collector.spans
+
+    # ------------------------------------------------------------------
+    # latency
+    # ------------------------------------------------------------------
+
+    def stage_latency(
+        self, stage_name: str, start: float, end: float, dt: float = 0.01
+    ):
+        """Mean-over-nodes queueing latency of one stage on a grid."""
+        stage = self.job.stage(stage_name)
+        latencies = []
+        weights = None
+        times = None
+        for flow in stage.flows.values():
+            t, lat, w = latency_from_segments(flow.segments, start, end, dt)
+            latencies.append(lat)
+            times = t
+            weights = w if weights is None else weights + w
+        return times, np.mean(latencies, axis=0), weights
+
+    def end_to_end_latency(
+        self, start: float = 0.0, end: Optional[float] = None, dt: float = 0.01
+    ):
+        """End-to-end latency for arrivals on a grid.
+
+        Returns ``(times, latency_seconds, arrival_weights)``; the
+        constant pipeline overhead (:attr:`CostModel.base_latency_seconds`)
+        is included.
+        """
+        if end is None:
+            end = self.duration
+        per_stage = []
+        weights = None
+        times = None
+        for stage in self.job.stages:
+            t, lat, w = self.stage_latency(stage.name, start, end, dt)
+            per_stage.append(lat)
+            times = t
+            if weights is None:
+                weights = w
+        total = compose_latencies(times, per_stage)
+        return times, total + self.job.cost.base_latency_seconds, weights
+
+    def latency_timeline(
+        self,
+        quantile: float = 0.999,
+        window: float = 0.05,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        dt: float = 0.01,
+    ):
+        """The paper's per-window pXX timeline (Figures 3, 8, 16–20)."""
+        times, latency, weights = self.end_to_end_latency(start, end, dt)
+        return windowed_quantile(times, latency, window, quantile, weights)
+
+    def tail_summary(self, start: float = 0.0, end: Optional[float] = None) -> dict:
+        times, latency, weights = self.end_to_end_latency(start, end)
+        return tail_summary(latency, weights)
+
+    # ------------------------------------------------------------------
+    # resources and activities
+    # ------------------------------------------------------------------
+
+    def cpu_series(self, node: Optional[str] = None) -> StepSeries:
+        return self.collector.cpu_series(node)
+
+    def queue_series(self, stage_name: str, start: float, end: float, dt: float = 0.05):
+        """Total backlog (messages) of one stage over time."""
+        stage = self.job.stage(stage_name)
+        times = np.arange(start, end, dt)
+        total = np.zeros(len(times))
+        from ..metrics.percentiles import rates_on_grid
+
+        for flow in stage.flows.values():
+            _t, _lam, _mu, queue = rates_on_grid(flow.segments, start, end, dt)
+            total += queue
+        return times, total
+
+    def concurrency(self, kind: str, start: float, end: float, dt: float = 0.05,
+                    stage: Optional[str] = None):
+        return self.spans.concurrency_series(start, end, dt, kind=kind, stage=stage)
+
+    def checkpoint_stats(self):
+        return self.collector.checkpoint_stats()
+
+    def flush_spans(self, **filters):
+        return self.spans.spans(kind="flush", **filters)
+
+    def compaction_spans(self, **filters):
+        return self.spans.spans(kind="compaction", **filters)
+
+    def summary(self, start: float = 0.0, end: Optional[float] = None) -> dict:
+        """A JSON-serializable digest of the run (tails, activity
+        counts, checkpoint/backup stats, stalls) for dashboards and the
+        CLI."""
+        if end is None:
+            end = self.duration
+        completed = self.coordinator.completed
+        return {
+            "duration_s": self.duration,
+            "measured_span": [start, end],
+            "tails_s": self.tail_summary(start=start, end=end),
+            "checkpoints": {
+                "triggered": len(self.coordinator.records),
+                "completed": len(completed),
+                "mean_duration_s": (
+                    sum(r.duration for r in completed) / len(completed)
+                    if completed
+                    else None
+                ),
+                "total_bytes": sum(r.bytes for r in completed),
+            },
+            "activities": {
+                "flushes": self.spans.count(kind="flush"),
+                "compactions": self.spans.count(kind="compaction"),
+                "compaction_input_bytes": self.spans.total_input_bytes(
+                    kind="compaction"
+                ),
+                "flush_compaction_overlap_s": self.spans.overlap_seconds(
+                    "flush", "compaction", start, end
+                ),
+            },
+            "write_stall_events": self.job.backend.write_stall_events,
+            "backup_pending": self.job.hdfs.pending,
+            "mean_cpu_cores": self.cpu_series(None).time_average(start, end),
+        }

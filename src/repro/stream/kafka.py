@@ -1,0 +1,111 @@
+"""A Kafka-like partitioned, persistent message queue.
+
+The benchmark platform uses Kafka as its input/output queue
+(Figure 4(a)) and Kafka Streams for the WordCount case study (§5.2).
+This module implements the queue semantics the examples and the
+WordCount data plane need: topics split into partitions, append-only
+logs, key hashing, and per-consumer-group offset tracking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .messages import Record
+
+__all__ = ["Partition", "Topic", "KafkaBroker"]
+
+
+class Partition:
+    """One append-only log."""
+
+    def __init__(self, topic: str, index: int) -> None:
+        self.topic = topic
+        self.index = index
+        self._log: List[Record] = []
+
+    def append(self, record: Record) -> int:
+        """Append and return the record's offset."""
+        self._log.append(record)
+        return len(self._log) - 1
+
+    def read(self, offset: int, max_records: int = 100) -> List[Record]:
+        if offset < 0:
+            raise ConfigurationError("offset must be >= 0")
+        return self._log[offset : offset + max_records]
+
+    @property
+    def end_offset(self) -> int:
+        return len(self._log)
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+
+class Topic:
+    """A named set of partitions with key-hash routing."""
+
+    def __init__(self, name: str, partitions: int) -> None:
+        if partitions < 1:
+            raise ConfigurationError("a topic needs at least one partition")
+        self.name = name
+        self.partitions = [Partition(name, i) for i in range(partitions)]
+
+    def partition_for(self, key: bytes) -> Partition:
+        digest = hashlib.md5(key).digest()
+        return self.partitions[int.from_bytes(digest[:4], "big") % len(self.partitions)]
+
+    def produce(self, record: Record) -> int:
+        """Route by key hash; returns the offset within the partition."""
+        return self.partition_for(record.key).append(record)
+
+    def total_records(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+
+class KafkaBroker:
+    """A broker holding topics and consumer-group offsets."""
+
+    def __init__(self) -> None:
+        self._topics: Dict[str, Topic] = {}
+        #: (group, topic, partition) -> committed offset
+        self._offsets: Dict[tuple, int] = {}
+
+    def create_topic(self, name: str, partitions: int) -> Topic:
+        if name in self._topics:
+            raise ConfigurationError(f"topic {name!r} already exists")
+        topic = Topic(name, partitions)
+        self._topics[name] = topic
+        return topic
+
+    def topic(self, name: str) -> Topic:
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown topic {name!r}") from None
+
+    def poll(
+        self, group: str, topic_name: str, partition: int, max_records: int = 100
+    ) -> List[Record]:
+        """Read records for *group* starting at its committed offset."""
+        topic = self.topic(topic_name)
+        key = (group, topic_name, partition)
+        offset = self._offsets.get(key, 0)
+        return topic.partitions[partition].read(offset, max_records)
+
+    def commit(self, group: str, topic_name: str, partition: int, offset: int) -> None:
+        self.topic(topic_name)  # validates the topic exists
+        self._offsets[(group, topic_name, partition)] = offset
+
+    def committed(self, group: str, topic_name: str, partition: int) -> int:
+        return self._offsets.get((group, topic_name, partition), 0)
+
+    def lag(self, group: str, topic_name: str) -> int:
+        """Total records not yet committed by *group* across partitions."""
+        topic = self.topic(topic_name)
+        return sum(
+            p.end_offset - self.committed(group, topic_name, p.index)
+            for p in topic.partitions
+        )

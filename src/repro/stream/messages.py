@@ -1,0 +1,47 @@
+"""Message records for the discrete data plane.
+
+The fluid engine does not materialize individual messages, but the
+examples and the Kafka layer do: a :class:`Record` is one keyed event
+with an event time, and :class:`RecordBatch` groups them for
+per-partition appends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["Record", "RecordBatch"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One keyed event."""
+
+    key: bytes
+    value: bytes
+    event_time: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.key) + len(self.value)
+
+
+@dataclass
+class RecordBatch:
+    """An ordered group of records bound for one partition."""
+
+    records: List[Record] = field(default_factory=list)
+
+    def append(self, record: Record) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.records)

@@ -1,0 +1,53 @@
+"""Rate-controlled workload sources.
+
+Sources drive the first stage's arrival rate.  :class:`ConstantSource`
+is the paper's steady 60 k msg/s; :class:`PiecewiseSource` supports
+ramp-up/initialization phases (whose uneven flush pressure is what
+desynchronizes L0 counters between stages, §3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.kernel import Simulator
+
+__all__ = ["ConstantSource", "PiecewiseSource"]
+
+
+class ConstantSource:
+    """A fixed message rate from t = 0."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ConfigurationError("source rate must be >= 0")
+        self.rate = rate
+
+    def start(self, sim: Simulator, set_rate: Callable[[float], None]) -> None:
+        sim.call_soon(set_rate, self.rate)
+
+    def steady_rate(self) -> float:
+        return self.rate
+
+
+class PiecewiseSource:
+    """A piecewise-constant rate schedule ``[(time, rate), ...]``."""
+
+    def __init__(self, schedule: Sequence[Tuple[float, float]]) -> None:
+        if not schedule:
+            raise ConfigurationError("schedule must not be empty")
+        times = [t for t, _r in schedule]
+        if times != sorted(times):
+            raise ConfigurationError("schedule times must be ascending")
+        if any(r < 0 for _t, r in schedule):
+            raise ConfigurationError("rates must be >= 0")
+        self.schedule: List[Tuple[float, float]] = list(schedule)
+
+    def start(self, sim: Simulator, set_rate: Callable[[float], None]) -> None:
+        for time, rate in self.schedule:
+            sim.schedule(time, set_rate, rate)
+
+    def steady_rate(self) -> float:
+        """The final (steady-state) rate of the schedule."""
+        return self.schedule[-1][1]

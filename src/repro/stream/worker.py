@@ -1,0 +1,66 @@
+"""Worker nodes: the physical machines of Figure 4(b).
+
+A node bundles the shared resources that ShadowSync plays out on:
+
+* a processor-sharing **CPU** (message flows + flush/compaction tasks),
+* a bandwidth-sharing **storage device** (tmpfs or NVMe),
+* the RocksDB background **thread pools** — one flush pool and one
+  compaction pool per node, shared by every store hosted there, which is
+  exactly why tens of per-instance "independent" maintenance jobs end up
+  contending (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.kernel import Simulator
+from ..sim.resource import ProcessorSharingResource
+from ..sim.threadpool import SimThreadPool
+from ..storage.backend import StorageProfile
+
+__all__ = ["WorkerNode"]
+
+
+class WorkerNode:
+    """One Flink TaskManager host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cores: int,
+        storage: StorageProfile,
+        flush_threads: int,
+        compaction_threads: int,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.cores = cores
+        self.storage = storage
+        self.cpu = ProcessorSharingResource(sim, name, float(cores))
+        self.device = ProcessorSharingResource(
+            sim, f"{name}-{storage.name}", storage.device_capacity
+        )
+        self.flush_pool = SimThreadPool(sim, f"{name}-flush", flush_threads)
+        self.compaction_pool = SimThreadPool(
+            sim, f"{name}-compaction", compaction_threads
+        )
+        self.instances: List = []
+
+    def host(self, instance) -> None:
+        self.instances.append(instance)
+
+    @property
+    def flush_threads(self) -> int:
+        return self.flush_pool.size
+
+    @property
+    def compaction_threads(self) -> int:
+        return self.compaction_pool.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WorkerNode {self.name} cores={self.cores} "
+            f"instances={len(self.instances)} storage={self.storage.name}>"
+        )

@@ -1,0 +1,6 @@
+"""Workload generators: Tokyo traffic and random-sentence WordCount."""
+
+from .traffic import Car, TrafficModel, street_key
+from .wordcount import SentenceGenerator, count_words
+
+__all__ = ["Car", "TrafficModel", "street_key", "SentenceGenerator", "count_words"]

@@ -1,0 +1,77 @@
+"""Synthetic sentence workload for the WordCount case study (§5.2).
+
+"Each partition of Kafka producer reads a line from a synthetic
+workload generator (generating a set of random words about 25K per
+second)".  The generator draws words from a Zipf-distributed vocabulary
+(natural text is Zipfian, and the skew determines how quickly the
+counters' keyed state saturates).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from ..errors import ConfigurationError
+from ..stream.messages import Record
+
+__all__ = ["SentenceGenerator", "count_words"]
+
+
+class SentenceGenerator:
+    """Random sentences over a Zipf vocabulary."""
+
+    def __init__(
+        self,
+        vocabulary_size: int = 100000,
+        words_per_sentence: int = 8,
+        zipf_s: float = 1.1,
+        seed: int = 0,
+    ) -> None:
+        if vocabulary_size < 1:
+            raise ConfigurationError("vocabulary_size must be >= 1")
+        if words_per_sentence < 1:
+            raise ConfigurationError("words_per_sentence must be >= 1")
+        if zipf_s <= 0:
+            raise ConfigurationError("zipf_s must be positive")
+        self.vocabulary_size = vocabulary_size
+        self.words_per_sentence = words_per_sentence
+        self._rng = random.Random(seed)
+        # Zipf CDF over ranks 1..V (precomputed for inverse sampling).
+        weights = [1.0 / (rank ** zipf_s) for rank in range(1, vocabulary_size + 1)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+
+    def word(self) -> str:
+        """Draw one word (rank-encoded, e.g. ``w000042``)."""
+        u = self._rng.random()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return f"w{lo:07d}"
+
+    def sentence(self) -> str:
+        return " ".join(self.word() for _ in range(self.words_per_sentence))
+
+    def sentences(self, count: int) -> Iterator[Record]:
+        """*count* sentence records with synthetic keys."""
+        for i in range(count):
+            text = self.sentence()
+            yield Record(key=f"line:{i}".encode(), value=text.encode())
+
+
+def count_words(records) -> dict:
+    """Reference word-count reduction used by tests and examples."""
+    counts: dict = {}
+    for record in records:
+        for word in record.value.decode().split():
+            counts[word] = counts.get(word, 0) + 1
+    return counts

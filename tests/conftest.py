@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Full-pipeline runs take ~1-2 s each, so the integration tests share
+session-scoped results instead of re-running the simulation per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_traffic_job, build_wordcount_job
+from repro.core import MitigationPlan
+
+#: Standard measurement window for the shared runs.
+WARMUP = 40.0
+DURATION = 160.0
+
+
+@pytest.fixture(scope="session")
+def traffic_baseline():
+    job = build_traffic_job(
+        checkpoint_interval_s=8.0, initial_l0="aligned", seed=1
+    )
+    return job.run(DURATION)
+
+
+@pytest.fixture(scope="session")
+def traffic_solution():
+    job = build_traffic_job(
+        checkpoint_interval_s=8.0,
+        initial_l0="aligned",
+        seed=1,
+        mitigation=MitigationPlan.paper_solution(),
+    )
+    return job.run(DURATION)
+
+
+@pytest.fixture(scope="session")
+def traffic_staggered_16s():
+    job = build_traffic_job(
+        checkpoint_interval_s=16.0, initial_l0="staggered", seed=1
+    )
+    return job.run(200.0)
+
+
+@pytest.fixture(scope="session")
+def wordcount_baseline():
+    return build_wordcount_job(seed=2).run(DURATION)
+
+
+@pytest.fixture(scope="session")
+def wordcount_solution():
+    return build_wordcount_job(
+        seed=2, mitigation=MitigationPlan.paper_solution()
+    ).run(DURATION)

@@ -1,0 +1,95 @@
+"""Unit tests for the Kneedle implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import kneedle
+from repro.errors import AnalysisError
+
+
+def test_concave_increasing_knee():
+    """Satopaa's canonical example family: y = x^(1/4) bends early."""
+    x = np.linspace(0.0, 10.0, 101)
+    y = x ** 0.25
+    result = kneedle(x, y, curve="concave", direction="increasing")
+    assert result.found
+    assert result.knee_x < 2.5  # early diminishing returns
+
+
+def test_convex_increasing_elbow_hockey_stick():
+    """Flat then sharply rising: the elbow is at the bend (x=5)."""
+    x = np.arange(0.0, 10.0, 0.5)
+    y = np.where(x <= 5.0, 1.0 + 0.02 * x, 1.0 + 0.1 + 3.0 * (x - 5.0))
+    result = kneedle(x, y, curve="convex", direction="increasing")
+    assert result.found
+    assert 4.0 <= result.knee_x <= 6.0
+
+
+def test_convex_decreasing():
+    x = np.linspace(0.0, 10.0, 101)
+    y = 1.0 / (1.0 + x)  # steep drop then flat
+    result = kneedle(x, y, curve="convex", direction="decreasing")
+    assert result.found
+    assert result.knee_x < 4.0
+
+
+def test_concave_decreasing():
+    x = np.linspace(0.0, 10.0, 101)
+    y = 10.0 - x ** 2 / 10.0  # flat then dropping fast
+    result = kneedle(x, y, curve="concave", direction="decreasing")
+    assert result.found
+    assert result.knee_x > 4.0
+
+
+def test_straight_line_has_no_knee():
+    x = np.linspace(0.0, 10.0, 50)
+    y = 2.0 * x + 1.0
+    result = kneedle(x, y)
+    # the difference curve is ~0 everywhere; no meaningful knee
+    assert result.knee_x is None or abs(max(result.difference_curve)) < 0.05
+
+
+def test_constant_curve_returns_no_knee():
+    x = np.linspace(0.0, 10.0, 20)
+    y = np.full_like(x, 3.0)
+    result = kneedle(x, y)
+    assert not result.found
+
+
+def test_smoothing_tolerates_noise():
+    rng = np.random.default_rng(1)
+    x = np.linspace(0.0, 10.0, 201)
+    y = np.minimum(x / 2.0, 2.0) + rng.normal(0, 0.03, len(x))
+    result = kneedle(x, y, curve="concave", smoothing_window=9)
+    assert result.found
+    assert 2.5 <= result.knee_x <= 5.5  # bend at x=4
+
+
+def test_validation_errors():
+    with pytest.raises(AnalysisError):
+        kneedle([0, 1], [1, 2])  # too few points
+    with pytest.raises(AnalysisError):
+        kneedle([0, 1, 1], [1, 2, 3])  # non-increasing x
+    with pytest.raises(AnalysisError):
+        kneedle([0, 1, 2], [1, 2, 3], curve="wiggly")
+    with pytest.raises(AnalysisError):
+        kneedle([0, 1, 2], [1, 2, 3], direction="sideways")
+    with pytest.raises(AnalysisError):
+        kneedle([0, 1, 2], [1, 2, 3], sensitivity=-1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bend=st.floats(min_value=2.0, max_value=8.0),
+    slope=st.floats(min_value=2.0, max_value=20.0),
+)
+def test_hockey_stick_property(bend, slope):
+    """For any flat-then-steep convex curve, the detected knee lies
+    near the bend."""
+    x = np.linspace(0.0, 10.0, 101)
+    y = np.where(x <= bend, 1.0, 1.0 + slope * (x - bend))
+    result = kneedle(x, y, curve="convex", direction="increasing")
+    assert result.found
+    assert abs(result.knee_x - bend) <= 1.0

@@ -1,0 +1,68 @@
+"""Unit tests for spike detection and tail statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import find_spikes, reduction_ratio, spike_period
+from repro.errors import AnalysisError
+
+
+def timeline_with_spikes(period=32.0, spike_height=2.0, floor=0.3,
+                         spike_width=2.0, horizon=200.0, dt=0.25):
+    times = np.arange(0.0, horizon, dt)
+    values = np.full_like(times, floor)
+    t = period
+    while t < horizon:
+        mask = (times >= t) & (times < t + spike_width)
+        values[mask] = spike_height
+        t += period
+    return times, values
+
+
+def test_find_spikes_detects_each_excursion():
+    times, values = timeline_with_spikes()
+    spikes = find_spikes(times, values, threshold=1.0)
+    assert len(spikes) == 6  # at 32, 64, ..., 192 within 200 s
+    assert all(s.peak == pytest.approx(2.0) for s in spikes)
+
+
+def test_spike_period_recovers_cadence():
+    times, values = timeline_with_spikes(period=32.0)
+    spikes = find_spikes(times, values, threshold=1.0)
+    assert spike_period(spikes) == pytest.approx(32.0, abs=0.5)
+
+
+def test_nearby_excursions_merge_into_one_spike():
+    times = np.arange(0.0, 10.0, 0.1)
+    values = np.where((times > 2.0) & (times < 2.4), 2.0, 0.1)
+    values = np.where((times > 2.6) & (times < 3.0), 1.8, values)
+    spikes = find_spikes(times, values, threshold=1.0, min_gap=1.0)
+    assert len(spikes) == 1
+    assert spikes[0].peak == pytest.approx(2.0)
+
+
+def test_no_spikes_below_threshold():
+    times, values = timeline_with_spikes(spike_height=0.5)
+    assert find_spikes(times, values, threshold=1.0) == []
+    assert spike_period([]) is None
+
+
+def test_spike_fields():
+    times, values = timeline_with_spikes(period=50.0, horizon=120.0)
+    spikes = find_spikes(times, values, threshold=1.0)
+    spike = spikes[0]
+    assert spike.start <= spike.peak_time <= spike.end
+    assert spike.duration > 0
+
+
+def test_mismatched_shapes_raise():
+    with pytest.raises(AnalysisError):
+        find_spikes(np.arange(5.0), np.arange(4.0), 1.0)
+
+
+def test_reduction_ratio():
+    assert reduction_ratio(2.0, 0.4) == pytest.approx(0.2)
+    with pytest.raises(AnalysisError):
+        reduction_ratio(0.0, 1.0)
+    with pytest.raises(AnalysisError):
+        reduction_ratio(1.0, -1.0)

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+def test_every_figure_has_a_cli_name():
+    expected = {
+        "fig1", "fig3", "table1", "fig6", "fig7", "fig8", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+        "headline",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_fig8_renders_report(capsys):
+    code = main(["run", "fig8", "--duration", "120", "--warmup", "40"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "== fig8 ==" in out
+    assert "p99.9" in out
+    assert "spike_period_s" in out
+
+
+def test_run_table1_renders_table(capsys):
+    code = main(["run", "table1", "--duration", "200", "--warmup", "40"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "flush s0/s1" in out
+    assert "64/64" in out
+
+
+def test_run_json_output(capsys):
+    code = main(["run", "fig8", "--duration", "100", "--warmup", "40",
+                 "--json"])
+    assert code == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert "spikes" in payload and "tails" in payload
+
+
+def test_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,79 @@
+"""Tests for the online auto-tuner."""
+
+import pytest
+
+from repro.apps import build_traffic_job
+from repro.core import OnlineAutoTuner, RandomizedL0Trigger
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def tuned_run():
+    job = build_traffic_job(checkpoint_interval_s=8.0, initial_l0="aligned",
+                            seed=1)
+    tuner = OnlineAutoTuner()
+    tuner.attach(job)
+    result = job.run(280.0)
+    return job, tuner, result
+
+
+def test_tuner_activates_after_observation_window(tuned_run):
+    job, tuner, _result = tuned_run
+    assert tuner.active
+    # needs observe_checkpoints=5 checkpoints (first at 8 s, 8 s apart)
+    assert tuner.activated_at == pytest.approx(40.0, abs=8.0)
+
+
+def test_tuner_estimates_drain_time_delay(tuned_run):
+    _job, tuner, _result = tuned_run
+    assert tuner.min_delay_s <= tuner.chosen_delay_s <= tuner.max_delay_s
+    # our calibration's drain time is ~1 s (EXPERIMENTS.md)
+    assert 0.4 <= tuner.chosen_delay_s <= 2.0
+
+
+def test_tuner_randomizes_store_triggers(tuned_run):
+    job, _tuner, _result = tuned_run
+    policies = [
+        inst.store.options.l0_trigger_policy
+        for stage in job.stages
+        for inst in stage.instances
+        if inst.store is not None
+    ]
+    assert all(isinstance(p, RandomizedL0Trigger) for p in policies)
+
+
+def test_tuner_installs_delay_policy(tuned_run):
+    job, tuner, _result = tuned_run
+    assert job.backend.delay_policy.current_delay() == pytest.approx(
+        tuner.chosen_delay_s
+    )
+
+
+def test_tail_improves_after_activation(tuned_run):
+    _job, tuner, result = tuned_run
+    before = result.tail_summary(start=20.0, end=tuner.activated_at)
+    after = result.tail_summary(start=tuner.activated_at + 40.0)
+    assert after["p999"] < 0.5 * before["p999"]
+
+
+def test_tuner_stays_quiet_on_mitigated_job():
+    from repro.core import MitigationPlan
+
+    job = build_traffic_job(checkpoint_interval_s=8.0, initial_l0="aligned",
+                            seed=1, mitigation=MitigationPlan.paper_solution())
+    tuner = OnlineAutoTuner(observe_checkpoints=5)
+    tuner.attach(job)
+    job.run(200.0)
+    assert not tuner.active  # spread compactions never reach the threshold
+
+
+def test_tuner_validation_and_double_attach():
+    with pytest.raises(ConfigurationError):
+        OnlineAutoTuner(observe_checkpoints=0)
+    with pytest.raises(ConfigurationError):
+        OnlineAutoTuner(burst_threshold=0)
+    job = build_traffic_job(seed=1)
+    tuner = OnlineAutoTuner()
+    tuner.attach(job)
+    with pytest.raises(ConfigurationError):
+        tuner.attach(job)

@@ -1,0 +1,76 @@
+"""Unit tests for the SILK-style scheduler baseline."""
+
+import pytest
+
+from repro.config import CheckpointConfig, ClusterConfig, CostModel
+from repro.core import SilkPolicy, install_silk_pauses
+from repro.errors import ConfigurationError
+from repro.stream import ConstantSource, StageSpec, StreamJob
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        SilkPolicy(throttled_compaction_threads=0)
+    with pytest.raises(ConfigurationError):
+        SilkPolicy(pause_hysteresis_s=-1.0)
+
+
+def test_policy_as_plan_only_sets_pool():
+    plan = SilkPolicy(throttled_compaction_threads=2).as_mitigation_plan()
+    assert plan.compaction_threads == 2
+    assert not plan.randomize_compaction_trigger
+    assert plan.compaction_delay_s == 0.0
+
+
+def make_job(policy):
+    job = StreamJob(
+        stages=[StageSpec("s", parallelism=4, state_entry_bytes=200.0,
+                          distinct_keys=2000)],
+        source=ConstantSource(2000.0),
+        cluster=ClusterConfig(num_nodes=1, cores_per_node=4),
+        checkpoint=CheckpointConfig(interval_s=4.0, first_at_s=4.0),
+        cost=CostModel(cpu_seconds_per_message=0.0002),
+        mitigation=policy.as_mitigation_plan(),
+        seed=5,
+    )
+    install_silk_pauses(job, policy)
+    return job
+
+
+def test_compaction_pool_paused_during_flush():
+    policy = SilkPolicy(throttled_compaction_threads=3)
+    job = make_job(policy)
+    node = job.nodes[0]
+    sizes = {}
+
+    def probe_during():
+        sizes["during"] = node.compaction_pool.size
+
+    def probe_after():
+        sizes["after"] = node.compaction_pool.size
+
+    job.sim.schedule(4.001, probe_during)          # first flush active
+    job.sim.schedule(7.5, probe_after)             # flushes long done
+    job.run(8.5)
+    assert sizes["during"] == 1                    # paused
+    assert sizes["after"] == 3                     # restored
+
+
+def test_compactions_still_complete_under_silk():
+    policy = SilkPolicy()
+    job = make_job(policy)
+    job.run(30.0)
+    compactions = job.collector.spans.spans(kind="compaction")
+    assert compactions, "SILK starved compaction entirely"
+    for instance in job.stage("s").instances:
+        assert instance.store.l0_file_count <= 5
+
+
+def test_hysteresis_keeps_pause_across_interleaved_flushes():
+    policy = SilkPolicy(pause_hysteresis_s=10.0)  # longer than the test
+    job = make_job(policy)
+    node = job.nodes[0]
+    sizes = {}
+    job.sim.schedule(7.9, lambda: sizes.setdefault("late", node.compaction_pool.size))
+    job.run(8.0)
+    assert sizes["late"] == 1  # restore never fired within hysteresis

@@ -1,0 +1,62 @@
+"""Unit tests for the report renderers and experiment runner plumbing."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    render_series,
+    render_sweep,
+    render_table,
+    render_tails,
+)
+
+
+def test_render_table_alignment_and_floats():
+    text = render_table(["name", "value"], [["a", 1.23456], ["long-name", 2]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.235" in text
+    assert "long-name" in text
+    # all rows equal width
+    assert len({len(line) for line in lines}) <= 2
+
+
+def test_render_series_shows_spike():
+    times = [float(t) for t in range(100)]
+    values = [0.1] * 100
+    values[50] = 2.0
+    art = render_series(times, values, width=50, height=5, label="p999")
+    assert "p999" in art and "max=2.00" in art
+    assert "#" in art
+
+
+def test_render_series_empty():
+    assert "empty" in render_series([], [])
+
+
+def test_render_tails_includes_all_runs():
+    text = render_tails({
+        "baseline": {"p50": 0.3, "p95": 1.5, "p99": 1.8, "p999": 2.0, "max": 2.1},
+        "solution": {"p50": 0.3, "p95": 0.5, "p99": 0.6, "p999": 0.7, "max": 0.7},
+    })
+    assert "baseline" in text and "solution" in text
+    assert "p99.9" in text
+
+
+def test_render_sweep_marks_best():
+    rows = [
+        {"delay_s": 0.1, "p95": 1.5, "p999": 1.9},
+        {"delay_s": 1.0, "p95": 0.6, "p999": 0.7},
+        {"delay_s": 8.0, "p95": 1.4, "p999": 1.8},
+    ]
+    text = render_sweep(rows, "delay_s")
+    best_line = [l for l in text.splitlines() if "<- best" in l]
+    assert len(best_line) == 1
+    assert "1.0" in best_line[0]
+
+
+def test_experiment_settings_defaults():
+    settings = ExperimentSettings()
+    start, end = settings.measure_span
+    assert start == 40.0 and end == 200.0
+    assert settings.fine_window_s == 0.05

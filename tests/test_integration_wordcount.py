@@ -1,0 +1,59 @@
+"""Integration tests: the WordCount case study (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import find_spikes
+
+WARMUP, DURATION = 40.0, 160.0
+
+
+def test_wordcount_baseline_tail_matches_paper_scale(wordcount_baseline):
+    tails = wordcount_baseline.tail_summary(start=WARMUP)
+    # paper: baseline p99.9 ≈ 1.3 s
+    assert 0.9 <= tails["p999"] <= 1.8
+
+
+def test_wordcount_solution_improves_tail(wordcount_baseline, wordcount_solution):
+    base = wordcount_baseline.tail_summary(start=WARMUP)
+    sol = wordcount_solution.tail_summary(start=WARMUP)
+    # paper: 1.3 s -> 0.7 s (~54 %); accept anything clearly better
+    assert sol["p999"] < 0.75 * base["p999"]
+    assert sol["p999"] < 0.9  # sub-second
+
+
+def test_wordcount_single_node_hosts_everything(wordcount_baseline):
+    assert len(wordcount_baseline.job.nodes) == 1
+    node = wordcount_baseline.job.nodes[0]
+    assert len(node.instances) == 128  # 64 split + 64 count
+
+
+def test_wordcount_only_count_stage_checkpoints(wordcount_baseline):
+    stages = {s.stage for s in wordcount_baseline.spans}
+    assert stages == {"count"}
+
+
+def test_wordcount_baseline_periodic_spikes(wordcount_baseline):
+    times, p999 = wordcount_baseline.latency_timeline(
+        0.999, window=0.5, start=WARMUP, end=DURATION
+    )
+    spikes = find_spikes(times, p999, threshold=0.8)
+    assert len(spikes) >= 3
+
+
+def test_wordcount_solution_spreads_compactions(wordcount_solution):
+    counts = wordcount_solution.spans.per_cycle_counts(
+        wordcount_solution.coordinator.checkpoint_times(), kind="compaction"
+    )
+    active = [c for c in counts.values() if c > 0]
+    assert len(active) >= 6
+    assert max(active) < 64
+
+
+def test_wordcount_compaction_concurrency_reduced(
+    wordcount_baseline, wordcount_solution
+):
+    _t, base_c = wordcount_baseline.concurrency("compaction", WARMUP, DURATION)
+    _t, sol_c = wordcount_solution.concurrency("compaction", WARMUP, DURATION)
+    assert base_c.max() >= 32
+    assert sol_c.max() < base_c.max()

@@ -1,0 +1,98 @@
+"""Unit tests for the memtable."""
+
+import pytest
+
+from repro.errors import FrozenMemtableError
+from repro.lsm import TOMBSTONE, MemTable
+
+
+def test_put_get_roundtrip():
+    table = MemTable()
+    table.put(b"k1", b"v1")
+    assert table.get(b"k1") == b"v1"
+    assert b"k1" in table
+    assert table.get(b"missing") is None
+
+
+def test_overwrite_replaces_value_and_adjusts_bytes():
+    table = MemTable(entry_overhead_bytes=0)
+    table.put(b"k", b"short")
+    first = table.size_bytes
+    table.put(b"k", b"a-much-longer-value")
+    assert table.get(b"k") == b"a-much-longer-value"
+    assert table.size_bytes == first - len(b"short") + len(b"a-much-longer-value")
+    assert len(table) == 1
+
+
+def test_delete_writes_tombstone():
+    table = MemTable()
+    table.put(b"k", b"v")
+    table.delete(b"k")
+    assert table.get(b"k") is TOMBSTONE
+    assert len(table) == 1  # tombstone is an entry
+
+
+def test_delete_of_absent_key_records_tombstone():
+    table = MemTable()
+    table.delete(b"ghost")
+    assert table.get(b"ghost") is TOMBSTONE
+
+
+def test_size_accounting_includes_overhead():
+    table = MemTable(entry_overhead_bytes=24)
+    table.put(b"ab", b"cdef")
+    assert table.size_bytes == 2 + 4 + 24
+
+
+def test_account_adds_logical_volume_only():
+    table = MemTable(entry_overhead_bytes=10)
+    table.account(100, 5000)
+    assert table.size_bytes == 5000 + 100 * 10
+    assert table.entry_count == 100
+    assert len(table) == 0
+    assert not table.is_empty
+
+
+def test_account_rejects_negative():
+    table = MemTable()
+    with pytest.raises(ValueError):
+        table.account(-1, 0)
+    with pytest.raises(ValueError):
+        table.account(0, -5)
+
+
+def test_frozen_memtable_rejects_writes():
+    table = MemTable()
+    table.put(b"k", b"v")
+    table.freeze()
+    assert table.frozen
+    with pytest.raises(FrozenMemtableError):
+        table.put(b"k2", b"v")
+    with pytest.raises(FrozenMemtableError):
+        table.delete(b"k")
+    with pytest.raises(FrozenMemtableError):
+        table.account(1, 1)
+    assert table.get(b"k") == b"v"  # reads still work
+
+
+def test_sorted_entries_are_sorted():
+    table = MemTable()
+    for key in (b"m", b"a", b"z", b"c"):
+        table.put(key, b"v")
+    keys = [k for k, _v in table.sorted_entries()]
+    assert keys == sorted(keys)
+
+
+def test_scan_respects_bounds():
+    table = MemTable()
+    for i in range(10):
+        table.put(f"k{i}".encode(), b"v")
+    result = [k for k, _v in table.scan(low=b"k3", high=b"k7")]
+    assert result == [b"k3", b"k4", b"k5", b"k6"]
+
+
+def test_is_empty():
+    table = MemTable()
+    assert table.is_empty
+    table.put(b"k", b"v")
+    assert not table.is_empty

@@ -1,0 +1,46 @@
+"""Unit tests for LSMOptions validation and trigger policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lsm import LSMOptions
+
+
+def test_defaults_match_rocksdb():
+    opts = LSMOptions()
+    assert opts.l0_compaction_trigger == 4
+    assert opts.num_levels == 7
+    assert opts.max_background_flushes == 16
+    assert opts.max_background_compactions == 16
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"write_buffer_size": 0},
+        {"l0_compaction_trigger": 0},
+        {"num_levels": 1},
+        {"max_background_flushes": 0},
+        {"max_background_compactions": 0},
+        {"level_size_multiplier": 1},
+        {"l0_slowdown_trigger": 2},  # below compaction trigger
+        {"l0_stop_trigger": 5, "l0_slowdown_trigger": 6},
+    ],
+)
+def test_invalid_options_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        LSMOptions(**kwargs)
+
+
+def test_effective_trigger_uses_policy():
+    opts = LSMOptions()
+    assert opts.effective_l0_trigger() == 4
+    opts.l0_trigger_policy = lambda: 6
+    assert opts.effective_l0_trigger() == 6
+
+
+def test_policy_returning_invalid_trigger_raises():
+    opts = LSMOptions()
+    opts.l0_trigger_policy = lambda: 0
+    with pytest.raises(ConfigurationError):
+        opts.effective_l0_trigger()

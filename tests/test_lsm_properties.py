@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the LSM store.
+
+The store must behave exactly like a dict regardless of how flushes and
+compactions interleave with writes — the core LSM correctness property
+the timing study relies on.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lsm import KiB, LSMOptions, LSMStore, SSTable, TOMBSTONE, merge_tables
+
+KEYS = st.integers(min_value=0, max_value=40).map(lambda i: f"k{i:02d}".encode())
+VALUES = st.binary(min_size=0, max_size=12)
+
+# An operation stream: puts, deletes, flushes, compactions.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, VALUES),
+        st.tuples(st.just("delete"), KEYS, st.just(b"")),
+        st.tuples(st.just("flush"), st.just(b""), st.just(b"")),
+        st.tuples(st.just("compact"), st.just(b""), st.just(b"")),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def run_ops(store, ops):
+    model = {}
+    now = 0.0
+    for op, key, value in ops:
+        now += 1.0
+        if op == "put":
+            store.put(key, value)
+            model[key] = value
+        elif op == "delete":
+            store.delete(key)
+            model.pop(key, None)
+        elif op == "flush":
+            job = store.begin_flush(now=now)
+            if job is not None:
+                store.finish_flush(job, now=now)
+        elif op == "compact":
+            job = store.pick_compaction(now=now)
+            if job is not None:
+                store.finish_compaction(job, now=now)
+    return model
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_store_matches_dict_model(ops):
+    store = LSMStore(
+        LSMOptions(
+            write_buffer_size=2 * KiB,
+            l0_compaction_trigger=2,
+            max_bytes_for_level_base=4 * KiB,
+        ),
+        "prop",
+    )
+    model = run_ops(store, ops)
+    for key in {k for op, k, _ in ops if op in ("put", "delete")}:
+        assert store.get(key) == model.get(key)
+    assert dict(store.scan()) == model
+    store.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS)
+def test_drain_all_compactions_preserves_model(ops):
+    store = LSMStore(
+        LSMOptions(
+            write_buffer_size=KiB,
+            l0_compaction_trigger=2,
+            max_bytes_for_level_base=2 * KiB,
+        ),
+        "prop2",
+    )
+    model = run_ops(store, ops)
+    # flush everything, then compact until quiescent
+    job = store.begin_flush(now=1000.0)
+    if job is not None:
+        store.finish_flush(job, now=1000.0)
+    for round_ in range(50):
+        compaction = store.pick_compaction(now=1000.0 + round_)
+        if compaction is None:
+            break
+        store.finish_compaction(compaction, now=1000.0 + round_)
+    store.check_invariants()
+    assert dict(store.scan()) == model
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    tables=st.lists(
+        st.dictionaries(KEYS, st.one_of(VALUES, st.just(TOMBSTONE)), max_size=10),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_merge_tables_equals_layered_dict(tables):
+    """Merging newest-first tables == applying them oldest-first."""
+    sstables = [
+        SSTable(sorted(t.items()), logical_bytes=100, level=0) for t in tables
+    ]
+    merged = merge_tables(sstables, drop_tombstones=False, level=1)
+    expected = {}
+    for table in reversed(tables):  # oldest first, newer overwrite
+        expected.update(table)
+    assert dict(iter(merged)) == expected
+    # keys come out sorted
+    keys = [k for k, _v in merged]
+    assert keys == sorted(keys)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    tables=st.lists(
+        st.dictionaries(KEYS, st.one_of(VALUES, st.just(TOMBSTONE)), max_size=10),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_merge_with_tombstone_drop_removes_all_tombstones(tables):
+    sstables = [
+        SSTable(sorted(t.items()), logical_bytes=100, level=0) for t in tables
+    ]
+    merged = merge_tables(sstables, drop_tombstones=True, level=6)
+    assert all(v is not TOMBSTONE for _k, v in merged)

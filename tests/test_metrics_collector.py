@@ -1,0 +1,92 @@
+"""Unit tests for the run-level metrics collector."""
+
+import pytest
+
+from repro.metrics import MetricsCollector
+from repro.sim import (
+    JobPhase,
+    ProcessorSharingResource,
+    SimJob,
+    SimThreadPool,
+    Simulator,
+)
+
+
+def build_scene():
+    sim = Simulator()
+    cpu = ProcessorSharingResource(sim, "node0", 4.0)
+    pool = SimThreadPool(sim, "pool", 4)
+    collector = MetricsCollector()
+    collector.watch_resource(cpu)
+    collector.watch_pool(pool, node="node0")
+    return sim, cpu, pool, collector
+
+
+def submit(sim, cpu, pool, kind, stage, instance, work=1.0, input_bytes=1000):
+    pool.submit(
+        SimJob(
+            f"{kind}-{stage}/{instance}",
+            kind,
+            [JobPhase(cpu, work)],
+            metadata={"stage": stage, "instance": instance,
+                      "input_bytes": input_bytes},
+        )
+    )
+
+
+def test_pool_jobs_become_spans():
+    sim, cpu, pool, collector = build_scene()
+    submit(sim, cpu, pool, "flush", "s0", 3)
+    sim.run()
+    spans = list(collector.spans)
+    assert len(spans) == 1
+    span = spans[0]
+    assert span.kind == "flush"
+    assert span.stage == "s0"
+    assert span.instance == 3
+    assert span.node == "node0"
+    assert span.input_bytes == 1000
+    assert span.end > span.start
+
+
+def test_checkpoint_stats_groups_by_start_period():
+    sim, cpu, pool, collector = build_scene()
+    collector.note_checkpoint(0.0)
+    collector.note_checkpoint(10.0)
+    submit(sim, cpu, pool, "flush", "s0", 0)
+    submit(sim, cpu, pool, "compaction", "s0", 0, work=2.0, input_bytes=2_000_000)
+    sim.schedule(10.5, lambda: submit(sim, cpu, pool, "flush", "s1", 1))
+    sim.run()
+    stats = collector.checkpoint_stats()
+    assert len(stats) == 2
+    first, second = stats
+    assert first.flush_count == {"s0": 1}
+    assert first.compaction_count == {"s0": 1}
+    assert first.compaction_input_mb == pytest.approx(2.0)
+    assert second.flush_count == {"s1": 1}
+    assert first.flush_ms["s0"] > 0
+    assert first.compaction_ms["s0"] > first.flush_ms["s0"]
+
+
+def test_cpu_series_single_and_mean():
+    sim = Simulator()
+    a = ProcessorSharingResource(sim, "node0", 4.0)
+    b = ProcessorSharingResource(sim, "node1", 4.0)
+    collector = MetricsCollector()
+    collector.watch_resource(a)
+    collector.watch_resource(b)
+    from repro.sim import ResourceTask
+
+    a.submit(ResourceTask("t", "x", work=4.0, demand=2.0))
+    sim.run()
+    assert collector.cpu_series("node0").value_at(1.0) == pytest.approx(2.0)
+    assert collector.cpu_series("node1").value_at(1.0) == pytest.approx(0.0)
+    assert collector.cpu_series(None).value_at(1.0) == pytest.approx(1.0)
+    with pytest.raises(KeyError):
+        collector.cpu_series("ghost")
+    assert collector.node_names() == ["node0", "node1"]
+
+
+def test_empty_collector_stats():
+    collector = MetricsCollector()
+    assert collector.checkpoint_stats() == []

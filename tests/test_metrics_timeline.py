@@ -1,0 +1,72 @@
+"""Unit tests for step series and millibottleneck detection."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.metrics import StepSeries, millibottleneck_windows
+
+
+def test_value_at_steps():
+    series = StepSeries([(1.0, 10.0), (3.0, 20.0)])
+    assert series.value_at(0.5) == 0.0
+    assert series.value_at(1.0) == 10.0
+    assert series.value_at(2.9) == 10.0
+    assert series.value_at(3.0) == 20.0
+    assert series.value_at(99.0) == 20.0
+
+
+def test_on_grid_sampling():
+    series = StepSeries([(0.0, 1.0), (2.0, 5.0)])
+    times, values = series.on_grid(0.0, 4.0, 1.0)
+    assert list(values) == [1.0, 1.0, 5.0, 5.0]
+    assert list(times) == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_time_average_exact():
+    series = StepSeries([(0.0, 0.0), (1.0, 10.0), (3.0, 0.0)])
+    # 0 for 1s, 10 for 2s, 0 for 1s over [0,4] -> 20/4
+    assert series.time_average(0.0, 4.0) == pytest.approx(5.0)
+
+
+def test_maximum_in_window():
+    series = StepSeries([(0.0, 1.0), (2.0, 9.0), (5.0, 3.0)])
+    assert series.maximum(0.0, 10.0) == 9.0
+    assert series.maximum(5.5, 10.0) == 3.0
+
+
+def test_fraction_above_threshold():
+    series = StepSeries([(0.0, 0.0), (1.0, 10.0), (2.0, 0.0)])
+    assert series.fraction_above(5.0, 0.0, 4.0) == pytest.approx(0.25)
+
+
+def test_empty_interval_raises():
+    series = StepSeries([(0.0, 1.0)])
+    with pytest.raises(AnalysisError):
+        series.time_average(1.0, 1.0)
+    with pytest.raises(AnalysisError):
+        series.on_grid(2.0, 2.0, 0.1)
+
+
+def test_millibottleneck_detection_finds_short_saturation():
+    # saturated 16/16 between t=2 and t=2.6 only
+    series = StepSeries([(0.0, 8.0), (2.0, 16.0), (2.6, 8.0)])
+    windows = millibottleneck_windows(series, capacity=16.0, start=0.0, end=5.0,
+                                      dt=0.05)
+    assert len(windows) == 1
+    start, end = windows[0]
+    assert start == pytest.approx(2.0, abs=0.06)
+    assert end == pytest.approx(2.6, abs=0.06)
+
+
+def test_millibottleneck_ignores_long_saturation():
+    series = StepSeries([(0.0, 16.0)])  # saturated forever — not "milli"
+    windows = millibottleneck_windows(series, capacity=16.0, start=0.0, end=10.0,
+                                      max_duration=2.0)
+    assert windows == []
+
+
+def test_millibottleneck_ignores_too_short_blips():
+    series = StepSeries([(0.0, 8.0), (1.0, 16.0), (1.02, 8.0)])
+    windows = millibottleneck_windows(series, capacity=16.0, start=0.0, end=3.0,
+                                      dt=0.05, min_duration=0.1)
+    assert windows == []

@@ -1,0 +1,135 @@
+"""Property-based tests of the simulation core.
+
+Invariants that must hold for *any* schedule of tasks and rate changes:
+work conservation on the PS resource, fluid-flow mass balance, FIFO
+causality of recovered latencies, and bit-for-bit determinism.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import latency_from_segments
+from repro.sim import (
+    FluidFlow,
+    ProcessorSharingResource,
+    ResourceTask,
+    Simulator,
+)
+
+TASKS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0),   # submit time
+        st.floats(min_value=0.05, max_value=3.0),   # work
+        st.floats(min_value=0.25, max_value=2.0),   # demand
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tasks=TASKS, capacity=st.floats(min_value=1.0, max_value=8.0))
+def test_ps_resource_conserves_work(tasks, capacity):
+    """Every task finishes, and no task finishes faster than its work
+    at full demand nor slower than work at the minimum possible rate."""
+    sim = Simulator()
+    cpu = ProcessorSharingResource(sim, "cpu", capacity)
+    finished = []
+
+    def submit(at, work, demand):
+        sim.schedule(at, lambda: cpu.submit(
+            ResourceTask(f"t{at}", "x", work=work, demand=demand,
+                         on_complete=lambda t: finished.append(t))
+        ))
+
+    for at, work, demand in tasks:
+        submit(at, work, demand)
+    sim.run()
+    # every task finishes
+    assert len(finished) == len(tasks)
+    # no task beats its work at full demand
+    for task in finished:
+        duration = task.end_time - task.start_time
+        assert duration >= task.work / min(task.demand, capacity) - 1e-6
+    # work delivered never exceeds capacity x busy time
+    makespan = max(t.end_time for t in finished) - min(
+        t.start_time for t in finished
+    )
+    total_work = sum(t.work for t in finished)
+    assert total_work <= capacity * makespan + 1e-6
+
+
+RATE_EVENTS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20.0),     # time
+        st.floats(min_value=0.0, max_value=20000.0),  # new arrival rate
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=RATE_EVENTS)
+def test_fluid_flow_mass_balance(events):
+    """arrivals == served + backlog, for any rate schedule."""
+    sim = Simulator()
+    cpu = ProcessorSharingResource(sim, "cpu", 4.0)
+    flow = FluidFlow(sim, "f", work_per_message=0.001, max_parallelism=4.0)
+    cpu.add_flow(flow)
+    for at, rate in events:
+        sim.schedule(at, flow.set_arrival_rate, rate)
+    sim.run(until=25.0)
+    flow.finalize(25.0)
+    arrived = served = 0.0
+    for a, b in zip(flow.segments, flow.segments[1:]):
+        dt = b.time - a.time
+        arrived += a.arrival_rate * dt
+        served += a.serve_rate * dt
+    assert served <= arrived + 1e-6
+    assert arrived - served == pytest.approx(flow.queue, abs=arrived * 1e-6 + 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=RATE_EVENTS)
+def test_fifo_latency_is_causal(events):
+    """Recovered latencies are non-negative and departures are ordered
+    (FIFO): t + L(t) is non-decreasing."""
+    sim = Simulator()
+    cpu = ProcessorSharingResource(sim, "cpu", 4.0)
+    flow = FluidFlow(sim, "f", work_per_message=0.001, max_parallelism=4.0)
+    cpu.add_flow(flow)
+    for at, rate in events:
+        sim.schedule(at, flow.set_arrival_rate, rate)
+    # some contention so queues actually form
+    sim.schedule(5.0, lambda: cpu.submit(ResourceTask("bg", "x", 6.0, 2.0)))
+    sim.run(until=25.0)
+    flow.finalize(25.0)
+    times, latency, _w = latency_from_segments(flow.segments, 0.0, 25.0, dt=0.02)
+    assert np.all(latency >= -1e-9)
+    departures = times + latency
+    assert np.all(np.diff(departures) >= -1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_simulator_runs_are_deterministic(seed):
+    def run_once():
+        sim = Simulator(seed=seed)
+        cpu = ProcessorSharingResource(sim, "cpu", 4.0)
+        flow = FluidFlow(sim, "f", work_per_message=0.001, max_parallelism=4.0)
+        cpu.add_flow(flow)
+        rng = sim.rng.stream("load")
+        for i in range(5):
+            sim.schedule(rng.uniform(0, 10), flow.set_arrival_rate,
+                         rng.uniform(0, 4000))
+            sim.schedule(rng.uniform(0, 10), lambda: cpu.submit(
+                ResourceTask(f"t{i}", "x", rng.uniform(0.1, 2.0))))
+        sim.run(until=20.0)
+        flow.finalize(20.0)
+        return [(s.time, s.arrival_rate, s.serve_rate, s.queue)
+                for s in flow.segments]
+
+    assert run_once() == run_once()

@@ -1,0 +1,140 @@
+"""Unit tests for the §6 capacity-disturbance injectors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    ColocationInterferenceInjector,
+    DvfsThrottleInjector,
+    FluidFlow,
+    GcPauseInjector,
+    ProcessorSharingResource,
+    Simulator,
+)
+
+
+def loaded_node(capacity=16.0, rate=30000.0):
+    sim = Simulator(seed=4)
+    cpu = ProcessorSharingResource(sim, "n", capacity)
+    flow = FluidFlow(sim, "f", work_per_message=0.0004, max_parallelism=16.0)
+    cpu.add_flow(flow)
+    flow.set_arrival_rate(rate)
+    return sim, cpu, flow
+
+
+def test_gc_pause_stops_the_world_and_restores_capacity():
+    sim, cpu, flow = loaded_node()
+    gc = GcPauseInjector(interval_s=10.0, pause_s=0.3, jitter=0.0)
+    gc.install(sim, cpu)
+    sim.run_for(26.0)
+    flow.finalize(sim.now)
+    assert len(gc.windows) == 3  # at 5, 15, 25 (first_at=5)
+    for _name, start, end in gc.windows:
+        assert end - start == pytest.approx(0.3, abs=1e-6)
+    # 0.3 s outage at 30 000 msg/s -> ~9 000 queued
+    assert max(s.queue for s in flow.segments) == pytest.approx(9000.0, rel=0.05)
+    assert cpu.capacity == 16.0  # restored
+
+
+def test_gc_pause_causes_latency_spike():
+    sim, cpu, flow = loaded_node()
+    gc = GcPauseInjector(interval_s=30.0, pause_s=0.4, jitter=0.0)
+    gc.install(sim, cpu)
+    sim.run_for(20.0)
+    flow.finalize(sim.now)
+    from repro.metrics import latency_from_segments
+
+    times, latency, _w = latency_from_segments(flow.segments, 0.0, 20.0, dt=0.01)
+    assert latency.max() > 0.35  # the pause is visible end to end
+    assert latency[times < 4.5].max() < 0.05  # quiet before the pause
+
+
+def test_dvfs_reduces_capacity_by_factor():
+    sim, cpu, _flow = loaded_node()
+    dvfs = DvfsThrottleInjector(mean_interval_s=5.0, duration_s=0.5,
+                                frequency_factor=0.6)
+    observed = []
+    dvfs.install(sim, cpu)
+    sim.schedule(3.25, lambda: observed.append(cpu.capacity))  # during 1st dip
+    sim.run_for(10.0)
+    assert observed == [pytest.approx(16.0 * 0.6)]
+    assert cpu.capacity == 16.0
+    assert len(dvfs.windows) >= 1
+
+
+def test_colocation_steals_share():
+    sim, cpu, _flow = loaded_node()
+    coloc = ColocationInterferenceInjector(steal_fraction=0.25)
+    coloc.install(sim, cpu)
+    sim.run_for(60.0)
+    assert len(coloc.windows) >= 1
+    assert cpu.capacity in (16.0, pytest.approx(12.0))
+
+
+def test_overlapping_dips_do_not_compound():
+    sim = Simulator(seed=1)
+    cpu = ProcessorSharingResource(sim, "n", 16.0)
+    injector = DvfsThrottleInjector(mean_interval_s=100.0, duration_s=1.0,
+                                    frequency_factor=0.5)
+    from repro.sim.process import spawn
+
+    spawn(sim, injector._dip(sim, cpu, 0.5, 1.0))
+    spawn(sim, injector._dip(sim, cpu, 0.5, 1.0), delay=0.5)
+    observed = []
+    sim.schedule(0.75, lambda: observed.append(cpu.capacity))
+    sim.run()
+    assert observed == [pytest.approx(8.0)]  # 0.5x once, not 0.25x
+    assert cpu.capacity == 16.0
+
+
+def test_overlap_across_different_injectors_restores_capacity():
+    """Regression: a GC pause overlapping a DVFS window must not save
+    the already-dipped capacity as 'undisturbed' (which would ratchet
+    the node down permanently)."""
+    sim = Simulator(seed=1)
+    cpu = ProcessorSharingResource(sim, "n", 16.0)
+    dvfs = DvfsThrottleInjector(mean_interval_s=100.0, duration_s=2.0,
+                                frequency_factor=0.5)
+    gc = GcPauseInjector(interval_s=100.0, pause_s=0.5)
+    from repro.sim.process import spawn
+
+    spawn(sim, dvfs._dip(sim, cpu, 0.5, 2.0))            # 0..2 at 8 cores
+    spawn(sim, gc._dip(sim, cpu, 0.0, 0.5), delay=1.0)   # 1..1.5 stopped
+    observed = {}
+    sim.schedule(1.25, lambda: observed.setdefault("during-gc", cpu.capacity))
+    sim.schedule(1.75, lambda: observed.setdefault("after-gc", cpu.capacity))
+    sim.run()
+    assert observed["during-gc"] < 0.1
+    assert cpu.capacity == 16.0  # fully restored, not ratcheted to 8
+
+
+def test_injector_validation():
+    with pytest.raises(ConfigurationError):
+        GcPauseInjector(interval_s=0.0)
+    with pytest.raises(ConfigurationError):
+        GcPauseInjector(jitter=1.5)
+    with pytest.raises(ConfigurationError):
+        DvfsThrottleInjector(frequency_factor=1.5)
+    with pytest.raises(ConfigurationError):
+        ColocationInterferenceInjector(steal_fraction=0.0)
+
+
+def test_engine_integration_gc_sees_checkpoints():
+    from repro.config import CheckpointConfig, ClusterConfig, CostModel
+    from repro.stream import ConstantSource, StageSpec, StreamJob
+
+    gc = GcPauseInjector(interval_s=8.0, pause_s=0.2, jitter=0.0,
+                         checkpoint_bias=0.5)
+    job = StreamJob(
+        stages=[StageSpec("s", parallelism=2, state_entry_bytes=100.0,
+                          distinct_keys=1000)],
+        source=ConstantSource(1000.0),
+        cluster=ClusterConfig(num_nodes=1, cores_per_node=4),
+        checkpoint=CheckpointConfig(interval_s=4.0, first_at_s=4.0),
+        cost=CostModel(cpu_seconds_per_message=0.0002),
+        disturbances=[gc],
+        seed=2,
+    )
+    job.run(20.0)
+    assert gc._checkpoint_times  # wired to the coordinator
+    assert len(gc.windows) >= 1

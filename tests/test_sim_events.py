@@ -1,0 +1,90 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.sim.events import (
+    Event,
+    EventQueue,
+    HIGH_PRIORITY,
+    LOW_PRIORITY,
+    NORMAL_PRIORITY,
+)
+
+
+def test_pop_returns_events_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, lambda: fired.append(3))
+    queue.push(1.0, lambda: fired.append(1))
+    queue.push(2.0, lambda: fired.append(2))
+    while queue:
+        queue.pop().callback()
+    assert fired == [1, 2, 3]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    queue = EventQueue()
+    order = []
+    for i in range(5):
+        queue.push(1.0, lambda i=i: order.append(i))
+    while queue:
+        queue.pop().callback()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_priority_overrides_scheduling_order_at_equal_times():
+    queue = EventQueue()
+    order = []
+    queue.push(1.0, lambda: order.append("normal"), priority=NORMAL_PRIORITY)
+    queue.push(1.0, lambda: order.append("low"), priority=LOW_PRIORITY)
+    queue.push(1.0, lambda: order.append("high"), priority=HIGH_PRIORITY)
+    while queue:
+        queue.pop().callback()
+    assert order == ["high", "normal", "low"]
+
+
+def test_cancelled_event_is_skipped():
+    queue = EventQueue()
+    fired = []
+    keep = queue.push(1.0, lambda: fired.append("keep"))
+    drop = queue.push(0.5, lambda: fired.append("drop"))
+    drop.cancel()
+    while queue:
+        queue.pop().callback()
+    assert fired == ["keep"]
+    assert drop.cancelled and not keep.cancelled
+
+
+def test_len_tracks_cancellations():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(4)]
+    assert len(queue) == 4
+    events[1].cancel()
+    events[1].cancel()  # double-cancel must not double-decrement
+    assert len(queue) == 3
+    queue.discard(events[2])
+    assert len(queue) == 2
+
+
+def test_peek_time_skips_cancelled_heads():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_pop_empty_returns_none():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+    assert not queue
+
+
+def test_event_carries_args():
+    queue = EventQueue()
+    seen = []
+    queue.push(1.0, lambda a, b: seen.append((a, b)), args=(1, "x"))
+    event = queue.pop()
+    event.callback(*event.args)
+    assert seen == [(1, "x")]

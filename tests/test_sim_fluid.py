@@ -1,0 +1,129 @@
+"""Unit tests for fluid flows and their CPU interaction."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import FluidFlow, ProcessorSharingResource, ResourceTask, Simulator
+
+
+def make_flow(capacity=16.0, wpm=0.0004, max_par=8.0):
+    sim = Simulator()
+    cpu = ProcessorSharingResource(sim, "node", capacity)
+    flow = FluidFlow(sim, "flow", work_per_message=wpm, max_parallelism=max_par)
+    cpu.add_flow(flow)
+    return sim, cpu, flow
+
+
+def test_keep_up_demand_matches_arrival_work():
+    sim, cpu, flow = make_flow()
+    flow.set_arrival_rate(10000.0)  # needs 4 cores
+    sim.run_for(5.0)
+    assert flow.queue == pytest.approx(0.0)
+    assert flow.allocation == pytest.approx(4.0)
+    assert flow.serve_rate == pytest.approx(10000.0)
+
+
+def test_contention_builds_queue_and_drains_after():
+    sim, cpu, flow = make_flow(capacity=16.0, max_par=16.0)
+    flow.set_arrival_rate(30000.0)  # needs 12 of 16
+    sim.run_for(1.0)
+    # 16 background tasks of 1 core each for ~1s: flow escalates to 16,
+    # total demand 32, flow gets 8 cores = 20000 msg/s -> deficit 10000/s
+    for i in range(16):
+        cpu.submit(ResourceTask(f"bg{i}", "bg", work=0.5, demand=1.0))
+    sim.run_for(0.5)
+    assert flow.queue == pytest.approx(10000.0 * 0.5, rel=0.05)
+    sim.run_for(5.0)
+    assert flow.queue == pytest.approx(0.0, abs=1.0)
+
+
+def test_blocked_fraction_throttles_service():
+    sim, cpu, flow = make_flow(max_par=8.0)
+    flow.set_arrival_rate(10000.0)
+    sim.run_for(1.0)
+    flow.set_blocked_fraction(1.0)  # stop-the-world
+    sim.run_for(0.5)
+    assert flow.queue == pytest.approx(5000.0, rel=0.01)
+    flow.set_blocked_fraction(0.0)
+    sim.run_for(5.0)
+    assert flow.queue == pytest.approx(0.0, abs=1.0)
+
+
+def test_queue_empty_event_deescalates_demand():
+    sim, cpu, flow = make_flow(capacity=16.0, max_par=16.0)
+    flow.set_arrival_rate(20000.0)  # needs 8 cores
+    flow.set_blocked_fraction(1.0)
+    sim.run_for(0.5)  # builds 10000 messages
+    flow.set_blocked_fraction(0.0)
+    sim.run_for(10.0)
+    # after the backlog drains, allocation returns to keep-up level
+    assert flow.queue == pytest.approx(0.0, abs=1.0)
+    assert flow.allocation == pytest.approx(8.0, rel=0.01)
+
+
+def test_segments_record_history():
+    sim, cpu, flow = make_flow()
+    flow.set_arrival_rate(5000.0)
+    sim.run_for(2.0)
+    flow.set_arrival_rate(8000.0)
+    sim.run_for(2.0)
+    flow.finalize(sim.now)
+    rates = [s.arrival_rate for s in flow.segments]
+    assert 5000.0 in rates and 8000.0 in rates
+    assert flow.segments[-1].time == pytest.approx(4.0)
+
+
+def test_queue_at_interpolates_between_segments():
+    sim, cpu, flow = make_flow(max_par=8.0)
+    flow.set_arrival_rate(10000.0)
+    sim.run_for(1.0)
+    flow.set_blocked_fraction(1.0)
+    sim.run_for(1.0)
+    flow.finalize(sim.now)
+    assert flow.queue_at(1.5) == pytest.approx(5000.0, rel=0.02)
+
+
+def test_arrival_hysteresis_absorbs_tiny_changes():
+    sim, cpu, flow = make_flow()
+    flow.set_arrival_rate(10000.0)
+    sim.run_for(1.0)
+    flow.set_arrival_rate(10010.0)  # 0.1 % — below the band
+    assert flow.arrival_rate == pytest.approx(10000.0)
+    flow.set_arrival_rate(11000.0)  # 10 % — applied
+    assert flow.arrival_rate == pytest.approx(11000.0)
+
+
+def test_output_listener_fires_on_material_changes():
+    sim, cpu, flow = make_flow()
+    rates = []
+    flow.output_listeners.append(rates.append)
+    flow.set_arrival_rate(10000.0)
+    sim.run_for(1.0)
+    assert rates and rates[-1] == pytest.approx(10000.0)
+
+
+def test_invalid_parameters_raise():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        FluidFlow(sim, "f", work_per_message=0.0, max_parallelism=1.0)
+    with pytest.raises(SimulationError):
+        FluidFlow(sim, "f", work_per_message=0.1, max_parallelism=0.0)
+    flow = FluidFlow(sim, "f", work_per_message=0.1, max_parallelism=1.0)
+    with pytest.raises(SimulationError):
+        flow.set_arrival_rate(-1.0)
+
+
+def test_flow_conservation_arrivals_equal_served_plus_queue():
+    sim, cpu, flow = make_flow(capacity=16.0, max_par=16.0)
+    flow.set_arrival_rate(30000.0)
+    sim.run_for(1.0)
+    for i in range(10):
+        cpu.submit(ResourceTask(f"bg{i}", "bg", work=1.0, demand=1.0))
+    sim.run_for(10.0)
+    flow.finalize(sim.now)
+    arrived = served = 0.0
+    for a, b in zip(flow.segments, flow.segments[1:]):
+        dt = b.time - a.time
+        arrived += a.arrival_rate * dt
+        served += a.serve_rate * dt
+    assert arrived - served == pytest.approx(flow.queue, abs=arrived * 1e-6 + 1.0)

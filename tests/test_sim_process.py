@@ -1,0 +1,136 @@
+"""Unit tests for generator processes and signals."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Signal, Simulator, spawn
+
+
+def test_process_sleeps_for_yielded_delays():
+    sim = Simulator()
+    log = []
+
+    def actor():
+        yield 1.5
+        log.append(sim.now)
+        yield 0.5
+        log.append(sim.now)
+
+    spawn(sim, actor())
+    sim.run()
+    assert log == [1.5, 2.0]
+
+
+def test_spawn_with_delay():
+    sim = Simulator()
+    log = []
+
+    def actor():
+        log.append(sim.now)
+        yield 1.0
+        log.append(sim.now)
+
+    spawn(sim, actor(), delay=3.0)
+    sim.run()
+    assert log == [3.0, 4.0]
+
+
+def test_process_result_and_done_signal():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        return 42
+
+    process = spawn(sim, worker())
+    results = []
+    process.done.add_waiter(results.append)
+    sim.run()
+    assert process.finished
+    assert process.result == 42
+    assert results == [42]
+
+
+def test_signal_wakes_waiting_process_with_value():
+    sim = Simulator()
+    signal = Signal("data")
+    log = []
+
+    def consumer():
+        value = yield signal
+        log.append((sim.now, value))
+
+    spawn(sim, consumer())
+    sim.schedule(2.0, signal.fire, "payload")
+    sim.run()
+    assert log == [(2.0, "payload")]
+
+
+def test_signal_fires_many_times_waiters_cleared_each_time():
+    sim = Simulator()
+    signal = Signal()
+    hits = []
+    signal.add_waiter(lambda v: hits.append(v))
+    signal.fire(1)
+    signal.fire(2)  # no waiters left
+    assert hits == [1]
+    assert signal.fire_count == 2
+
+
+def test_process_can_wait_on_another_process():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield 2.0
+        return "done"
+
+    def waiter(target):
+        value = yield target
+        log.append((sim.now, value))
+
+    target = spawn(sim, worker())
+    spawn(sim, waiter(target))
+    sim.run()
+    assert log == [(2.0, "done")]
+
+
+def test_waiting_on_finished_process_resumes_immediately():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield 1.0
+        return 7
+
+    def late_waiter(target):
+        yield 5.0
+        value = yield target
+        log.append((sim.now, value))
+
+    target = spawn(sim, worker())
+    spawn(sim, late_waiter(target))
+    sim.run()
+    assert log == [(5.0, 7)]
+
+
+def test_negative_yield_raises():
+    sim = Simulator()
+
+    def bad():
+        yield -1.0
+
+    spawn(sim, bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_unsupported_yield_raises():
+    sim = Simulator()
+
+    def bad():
+        yield "nope"
+
+    spawn(sim, bad())
+    with pytest.raises(SimulationError):
+        sim.run()

@@ -1,0 +1,125 @@
+"""Unit tests for the processor-sharing resource."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import ProcessorSharingResource, ResourceTask, Simulator
+
+
+def make_cpu(capacity=4.0):
+    sim = Simulator()
+    return sim, ProcessorSharingResource(sim, "cpu", capacity)
+
+
+def test_single_task_runs_at_its_demand():
+    sim, cpu = make_cpu(capacity=4.0)
+    done = []
+    cpu.submit(ResourceTask("t", "x", work=2.0, demand=1.0,
+                            on_complete=lambda t: done.append(sim.now)))
+    sim.run()
+    assert done == [2.0]  # 2 units of work at 1 unit/s
+
+
+def test_uncontended_tasks_run_in_parallel_at_full_demand():
+    sim, cpu = make_cpu(capacity=4.0)
+    done = {}
+    for name, work in (("a", 1.0), ("b", 3.0)):
+        cpu.submit(ResourceTask(name, "x", work=work, demand=1.0,
+                                on_complete=lambda t: done.setdefault(t.name, sim.now)))
+    sim.run()
+    assert done == {"a": 1.0, "b": 3.0}
+
+
+def test_oversubscription_scales_all_rates_proportionally():
+    sim, cpu = make_cpu(capacity=4.0)
+    done = []
+    for i in range(8):  # total demand 8 on 4 cores -> rate 0.5 each
+        cpu.submit(ResourceTask(f"t{i}", "x", work=1.0, demand=1.0,
+                                on_complete=lambda t: done.append(sim.now)))
+    sim.run()
+    assert all(abs(t - 2.0) < 1e-9 for t in done)
+
+
+def test_completion_frees_capacity_for_remaining_tasks():
+    sim, cpu = make_cpu(capacity=1.0)
+    done = {}
+    cpu.submit(ResourceTask("short", "x", work=0.5, demand=1.0,
+                            on_complete=lambda t: done.setdefault("short", sim.now)))
+    cpu.submit(ResourceTask("long", "x", work=1.0, demand=1.0,
+                            on_complete=lambda t: done.setdefault("long", sim.now)))
+    sim.run()
+    # both share 0.5 each until short finishes at t=1.0 having done 0.5;
+    # long then has 0.5 left at full speed -> 1.5 total
+    assert done["short"] == pytest.approx(1.0)
+    assert done["long"] == pytest.approx(1.5)
+
+
+def test_late_arrival_slows_running_task():
+    sim, cpu = make_cpu(capacity=1.0)
+    done = {}
+    cpu.submit(ResourceTask("first", "x", work=1.0, demand=1.0,
+                            on_complete=lambda t: done.setdefault("first", sim.now)))
+    sim.schedule(0.5, lambda: cpu.submit(
+        ResourceTask("second", "x", work=0.25, demand=1.0,
+                     on_complete=lambda t: done.setdefault("second", sim.now))))
+    sim.run()
+    # first does 0.5 work by t=0.5, then shares: 0.25 each until second
+    # finishes at t=1.0; first finishes its last 0.25 at t=1.25
+    assert done["second"] == pytest.approx(1.0)
+    assert done["first"] == pytest.approx(1.25)
+
+
+def test_demand_above_one_uses_multiple_units():
+    sim, cpu = make_cpu(capacity=4.0)
+    done = []
+    cpu.submit(ResourceTask("wide", "x", work=4.0, demand=4.0,
+                            on_complete=lambda t: done.append(sim.now)))
+    sim.run()
+    assert done == [1.0]
+
+
+def test_utilization_segments_record_usage():
+    sim, cpu = make_cpu(capacity=4.0)
+    cpu.submit(ResourceTask("t", "x", work=2.0, demand=2.0))
+    sim.run()
+    assert cpu.utilization_at(0.5) == pytest.approx(2.0)
+    assert cpu.utilization_at(1.5) == pytest.approx(0.0)
+
+
+def test_task_observers_see_start_and_end():
+    sim, cpu = make_cpu()
+    events = []
+    cpu.task_observers.append(lambda task, what: events.append((task.name, what)))
+    cpu.submit(ResourceTask("t", "x", work=1.0))
+    sim.run()
+    assert events == [("t", "start"), ("t", "end")]
+
+
+def test_running_count_by_kind():
+    sim, cpu = make_cpu()
+    cpu.submit(ResourceTask("f", "flush", work=10.0))
+    cpu.submit(ResourceTask("c", "compaction", work=10.0))
+    cpu.submit(ResourceTask("c2", "compaction", work=10.0))
+    assert cpu.running_count() == 3
+    assert cpu.running_count("compaction") == 2
+    assert cpu.running_count("flush") == 1
+
+
+def test_invalid_task_parameters_raise():
+    with pytest.raises(SimulationError):
+        ResourceTask("bad", "x", work=0.0)
+    with pytest.raises(SimulationError):
+        ResourceTask("bad", "x", work=1.0, demand=0.0)
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        ProcessorSharingResource(sim, "cpu", 0.0)
+
+
+def test_task_metadata_and_times():
+    sim, cpu = make_cpu()
+    task = cpu.submit(ResourceTask("t", "x", work=1.0, metadata={"k": 1}))
+    sim.run()
+    assert task.metadata == {"k": 1}
+    assert task.start_time == 0.0
+    assert task.end_time == pytest.approx(1.0)
+    assert task.done

@@ -1,0 +1,142 @@
+"""Unit tests for StreamJob construction, wiring and accounting."""
+
+import pytest
+
+from repro.config import CheckpointConfig, ClusterConfig, CostModel
+from repro.core import MitigationPlan
+from repro.errors import ConfigurationError, SimulationError
+from repro.stream import ConstantSource, StageSpec, StreamJob
+
+
+def two_stage_job(**overrides):
+    kwargs = dict(
+        stages=[
+            StageSpec("a", parallelism=4, state_entry_bytes=100.0,
+                      distinct_keys=4000, selectivity=0.5),
+            StageSpec("b", parallelism=4, state_entry_bytes=100.0,
+                      distinct_keys=2000),
+        ],
+        source=ConstantSource(4000.0),
+        cluster=ClusterConfig(num_nodes=2, cores_per_node=4),
+        checkpoint=CheckpointConfig(interval_s=4.0, first_at_s=4.0),
+        cost=CostModel(cpu_seconds_per_message=0.0002),
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return StreamJob(**kwargs)
+
+
+def test_round_robin_placement():
+    job = two_stage_job()
+    for stage in job.stages:
+        per_node = {n: len(v) for n, v in stage.instances_by_node.items()}
+        assert per_node == {"node0": 2, "node1": 2}
+
+
+def test_unique_stage_names_required():
+    with pytest.raises(ConfigurationError):
+        StreamJob(
+            stages=[StageSpec("x", 1), StageSpec("x", 1)],
+            source=ConstantSource(1.0),
+        )
+
+
+def test_empty_stage_list_rejected():
+    with pytest.raises(ConfigurationError):
+        StreamJob(stages=[], source=ConstantSource(1.0))
+
+
+def test_expected_stage_rate_applies_selectivity():
+    job = two_stage_job()
+    assert job.expected_stage_rate(0) == 4000.0
+    assert job.expected_stage_rate(1) == 2000.0
+
+
+def test_expected_flush_bytes_saturates_at_distinct_keys():
+    job = two_stage_job()
+    spec = job.stages[0].spec
+    expected = job.expected_flush_bytes(spec, 0)
+    saturated = spec.distinct_keys_per_instance * spec.state_entry_bytes
+    assert expected <= saturated
+
+
+def test_initial_l0_preload_sets_counters():
+    job = two_stage_job(initial_l0={"a": 2, "b": 0})
+    for instance in job.stage("a").instances:
+        assert instance.store.l0_file_count == 2
+    for instance in job.stage("b").instances:
+        assert instance.store.l0_file_count == 0
+
+
+def test_initial_l0_preload_validates_range():
+    with pytest.raises(ConfigurationError):
+        two_stage_job(initial_l0={"a": 4})  # >= trigger
+
+
+def test_initial_l0_accepts_callable():
+    job = two_stage_job(initial_l0={"a": lambda inst: inst.index % 3})
+    counts = [inst.store.l0_file_count for inst in job.stage("a").instances]
+    assert counts == [0, 1, 2, 0]
+
+
+def test_mitigation_pool_sizes_applied_to_nodes():
+    job = two_stage_job(mitigation=MitigationPlan(flush_threads=2,
+                                                  compaction_threads=3))
+    for node in job.nodes:
+        assert node.flush_pool.size == 2
+        assert node.compaction_pool.size == 3
+
+
+def test_source_rate_splits_across_hosting_nodes():
+    job = two_stage_job()
+    job.set_source_rate(4000.0)
+    stage_a = job.stage("a")
+    assert stage_a.flows["node0"].arrival_rate == pytest.approx(2000.0)
+    assert stage_a.flows["node1"].arrival_rate == pytest.approx(2000.0)
+
+
+def test_run_produces_checkpoints_flushes_and_state():
+    job = two_stage_job()
+    result = job.run(20.0)
+    assert len(job.coordinator.records) == 5  # t = 4, 8, 12, 16, 20
+    assert len(result.flush_spans()) > 0
+    some_store = job.stage("a").instances[0].store
+    assert some_store.stats.puts > 0  # sampled real state writes
+    assert some_store.total_bytes() > 0
+
+
+def test_run_twice_rejected():
+    job = two_stage_job()
+    job.run(5.0)
+    with pytest.raises(SimulationError):
+        job.run(5.0)
+
+
+def test_memtable_accounting_saturates_at_distinct_keys():
+    job = two_stage_job()
+    job.run(20.0)
+    for instance in job.stage("a").instances:
+        cap = instance.spec.distinct_keys_per_instance
+        assert instance.store.memtable_entries <= cap * 1.1
+
+
+def test_downstream_arrival_follows_upstream_output():
+    job = two_stage_job()
+    job.run(12.0)
+    stage_b = job.stage("b")
+    total_b = sum(f.arrival_rate for f in stage_b.flows.values())
+    # selectivity 0.5 on 4000 msg/s -> ~2000 msg/s entering b
+    assert total_b == pytest.approx(2000.0, rel=0.05)
+
+
+def test_stage_lookup_errors():
+    job = two_stage_job()
+    with pytest.raises(ConfigurationError):
+        job.stage("nope")
+
+
+def test_end_to_end_latency_has_base_floor():
+    job = two_stage_job()
+    result = job.run(20.0)
+    _t, latency, _w = result.end_to_end_latency(start=2.0, end=20.0)
+    assert latency.min() >= job.cost.base_latency_seconds - 1e-9

@@ -1,0 +1,74 @@
+"""Unit tests for the Kafka-like queue layer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stream import KafkaBroker, Record, Topic
+
+
+def test_partition_append_and_read():
+    topic = Topic("t", partitions=1)
+    partition = topic.partitions[0]
+    offsets = [partition.append(Record(b"k", f"v{i}".encode())) for i in range(5)]
+    assert offsets == [0, 1, 2, 3, 4]
+    records = partition.read(1, max_records=2)
+    assert [r.value for r in records] == [b"v1", b"v2"]
+    assert partition.end_offset == 5
+
+
+def test_key_routing_is_deterministic_and_spreads():
+    topic = Topic("t", partitions=8)
+    for i in range(800):
+        topic.produce(Record(f"key{i}".encode(), b"v"))
+    sizes = [len(p) for p in topic.partitions]
+    assert sum(sizes) == 800
+    assert min(sizes) > 0  # every partition got some share
+    # same key always routes to the same partition
+    p1 = topic.partition_for(b"stable-key")
+    p2 = topic.partition_for(b"stable-key")
+    assert p1 is p2
+
+
+def test_topic_needs_partitions():
+    with pytest.raises(ConfigurationError):
+        Topic("t", partitions=0)
+
+
+def test_broker_topic_lifecycle():
+    broker = KafkaBroker()
+    broker.create_topic("orders", 2)
+    assert broker.topic("orders").name == "orders"
+    with pytest.raises(ConfigurationError):
+        broker.create_topic("orders", 2)
+    with pytest.raises(ConfigurationError):
+        broker.topic("ghost")
+
+
+def test_consumer_group_offsets_and_lag():
+    broker = KafkaBroker()
+    topic = broker.create_topic("t", 1)
+    for i in range(10):
+        topic.produce(Record(b"k", f"v{i}".encode()))
+    records = broker.poll("g1", "t", 0, max_records=4)
+    assert len(records) == 4
+    broker.commit("g1", "t", 0, 4)
+    assert broker.committed("g1", "t", 0) == 4
+    assert broker.lag("g1", "t") == 6
+    # a second group has independent offsets
+    assert broker.committed("g2", "t", 0) == 0
+    assert broker.lag("g2", "t") == 10
+
+
+def test_poll_resumes_from_committed_offset():
+    broker = KafkaBroker()
+    topic = broker.create_topic("t", 1)
+    for i in range(6):
+        topic.produce(Record(b"k", f"v{i}".encode()))
+    broker.commit("g", "t", 0, 3)
+    records = broker.poll("g", "t", 0)
+    assert records[0].value == b"v3"
+
+
+def test_record_size():
+    record = Record(b"abc", b"defg")
+    assert record.size_bytes == 7

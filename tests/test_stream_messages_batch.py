@@ -1,0 +1,48 @@
+"""Unit tests for records/batches and end-to-end composition sanity."""
+
+import pytest
+
+from repro.config import CheckpointConfig, ClusterConfig, CostModel
+from repro.sim import GcPauseInjector
+from repro.stream import ConstantSource, Record, RecordBatch, StageSpec, StreamJob
+
+
+def test_record_batch_accumulates():
+    batch = RecordBatch()
+    for i in range(3):
+        batch.append(Record(f"k{i}".encode(), b"v" * i))
+    assert len(batch) == 3
+    assert batch.size_bytes == sum(len(f"k{i}") + i for i in range(3))
+    assert [r.key for r in batch] == [b"k0", b"k1", b"k2"]
+
+
+def test_pipeline_outage_is_visible_end_to_end():
+    """A full-node pause must appear in the composed two-stage latency
+    with roughly the pause duration (plus drain)."""
+    gc = GcPauseInjector(interval_s=1000.0, pause_s=0.5, jitter=0.0,
+                         first_at_s=10.0)
+    job = StreamJob(
+        stages=[
+            StageSpec("a", parallelism=4, state_entry_bytes=100.0,
+                      distinct_keys=4000, selectivity=1.0),
+            StageSpec("b", parallelism=4, state_entry_bytes=100.0,
+                      distinct_keys=2000),
+        ],
+        source=ConstantSource(4000.0),
+        cluster=ClusterConfig(num_nodes=1, cores_per_node=4),
+        checkpoint=CheckpointConfig(interval_s=100.0, first_at_s=100.0),
+        cost=CostModel(cpu_seconds_per_message=0.0002,
+                       base_latency_seconds=0.0),
+        disturbances=[gc],
+        seed=2,
+    )
+    result = job.run(30.0)
+    times, latency, _w = result.end_to_end_latency(start=2.0, end=30.0)
+    import numpy as np
+
+    before = latency[(times > 5.0) & (times < 9.5)]
+    at_pause = latency[(times > 9.6) & (times < 10.6)]
+    after = latency[(times > 20.0)]
+    assert before.max() < 0.1
+    assert at_pause.max() == pytest.approx(0.5, abs=0.2)
+    assert after.max() < 0.1

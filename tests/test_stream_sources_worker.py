@@ -1,0 +1,80 @@
+"""Unit tests for sources and worker nodes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.storage import NVME_SSD, TMPFS
+from repro.stream import ConstantSource, PiecewiseSource, WorkerNode
+
+
+# ---------------------------------------------------------------- sources
+
+def test_constant_source_sets_rate_once():
+    sim = Simulator()
+    rates = []
+    ConstantSource(5000.0).start(sim, rates.append)
+    sim.run()
+    assert rates == [5000.0]
+    assert ConstantSource(5000.0).steady_rate() == 5000.0
+
+
+def test_constant_source_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        ConstantSource(-1.0)
+
+
+def test_piecewise_source_schedule():
+    sim = Simulator()
+    seen = []
+    source = PiecewiseSource([(0.0, 1000.0), (5.0, 2000.0), (10.0, 1500.0)])
+    source.start(sim, lambda rate: seen.append((sim.now, rate)))
+    sim.run()
+    assert seen == [(0.0, 1000.0), (5.0, 2000.0), (10.0, 1500.0)]
+    assert source.steady_rate() == 1500.0
+
+
+def test_piecewise_source_validation():
+    with pytest.raises(ConfigurationError):
+        PiecewiseSource([])
+    with pytest.raises(ConfigurationError):
+        PiecewiseSource([(5.0, 1.0), (0.0, 2.0)])  # not ascending
+    with pytest.raises(ConfigurationError):
+        PiecewiseSource([(0.0, -1.0)])
+
+
+def test_piecewise_ramp_models_initialization_phase():
+    """§3.3: a heavy init phase then steady state."""
+    source = PiecewiseSource([(0.0, 100000.0), (30.0, 60000.0)])
+    assert source.steady_rate() == 60000.0
+
+
+# ---------------------------------------------------------------- worker
+
+def test_worker_node_bundles_resources():
+    sim = Simulator()
+    node = WorkerNode(sim, "node0", cores=16, storage=TMPFS,
+                      flush_threads=16, compaction_threads=4)
+    assert node.cpu.capacity == 16.0
+    assert node.device.capacity == TMPFS.device_capacity
+    assert node.flush_pool.size == 16
+    assert node.compaction_pool.size == 4
+    assert node.flush_threads == 16
+    assert node.compaction_threads == 4
+
+
+def test_worker_node_device_follows_storage_profile():
+    sim = Simulator()
+    node = WorkerNode(sim, "n", cores=4, storage=NVME_SSD,
+                      flush_threads=1, compaction_threads=1)
+    assert node.device.capacity == NVME_SSD.write_bandwidth_mb_s
+    assert "nvme" in node.device.name
+
+
+def test_worker_hosts_instances():
+    sim = Simulator()
+    node = WorkerNode(sim, "n", cores=4, storage=TMPFS,
+                      flush_threads=1, compaction_threads=1)
+    node.host(object())
+    node.host(object())
+    assert len(node.instances) == 2

@@ -1,0 +1,77 @@
+"""Unit tests for stage specs, instances and blocked-fraction logic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lsm import LSMOptions
+from repro.stream.stage import Stage, StageInstance, StageSpec
+
+
+class FakeNode:
+    def __init__(self, name="node0"):
+        self.name = name
+
+
+def spec(**overrides):
+    defaults = dict(name="s0", parallelism=4, state_entry_bytes=100.0,
+                    distinct_keys=400)
+    defaults.update(overrides)
+    return StageSpec(**defaults)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        spec(parallelism=0)
+    with pytest.raises(ConfigurationError):
+        spec(selectivity=-1.0)
+    with pytest.raises(ConfigurationError):
+        spec(state_entry_bytes=-1.0)
+    with pytest.raises(ConfigurationError):
+        spec(distinct_keys=-1)
+    with pytest.raises(ConfigurationError):
+        spec(work_multiplier=0.0)
+
+
+def test_distinct_keys_per_instance():
+    assert spec(parallelism=4, distinct_keys=400).distinct_keys_per_instance == 100.0
+    assert spec(distinct_keys=0).distinct_keys_per_instance == 0.0
+
+
+def test_stateful_instance_gets_a_store():
+    instance = StageInstance(spec(), 0, FakeNode(), LSMOptions())
+    assert instance.store is not None
+    assert instance.name == "s0/0"
+
+
+def test_stateless_instance_has_no_store():
+    instance = StageInstance(spec(stateful=False), 1, FakeNode())
+    assert instance.store is None
+
+
+def test_blocked_fraction_counts_flush_blocks_and_stalls():
+    stage = Stage(spec(parallelism=4))
+    node = FakeNode()
+    instances = [StageInstance(stage.spec, i, node) for i in range(4)]
+    for instance in instances:
+        stage.add_instance(instance)
+    assert stage.blocked_fraction("node0") == 0.0
+    instances[0].blocked = True
+    assert stage.blocked_fraction("node0") == 0.25
+    instances[1].stall_level = 0.5
+    assert stage.blocked_fraction("node0") == pytest.approx(0.375)
+    instances[0].stall_level = 1.0  # blocked dominates its own stall
+    assert stage.blocked_fraction("node0") == pytest.approx(0.375)
+
+
+def test_blocked_fraction_of_unknown_node_is_zero():
+    stage = Stage(spec())
+    assert stage.blocked_fraction("nowhere") == 0.0
+
+
+def test_instances_by_node_grouping():
+    stage = Stage(spec(parallelism=4))
+    node_a, node_b = FakeNode("a"), FakeNode("b")
+    for i in range(4):
+        stage.add_instance(StageInstance(stage.spec, i, node_a if i % 2 else node_b))
+    assert sorted(stage.nodes()) == ["a", "b"]
+    assert len(stage.instances_by_node["a"]) == 2
