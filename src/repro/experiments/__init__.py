@@ -1,4 +1,5 @@
-"""Experiment definitions: one function per paper table/figure."""
+"""Experiment definitions: one function per paper table/figure, plus
+the parallel executor and serializable run summaries they share."""
 
 from .figures import (
     fig1_fig3_baseline_timeline,
@@ -17,10 +18,32 @@ from .figures import (
     headline_reduction,
     table1_checkpoint_stats,
 )
+from .parallel import (
+    RunSpec,
+    cache_dir,
+    cache_enabled,
+    clear_cache,
+    execute_spec,
+    run_grid,
+    spec_cache_key,
+    sweep,
+)
 from .report import render_series, render_sweep, render_table, render_tails
-from .runner import ExperimentSettings, run_traffic, run_wordcount
+from .runner import DEFAULT_SETTINGS, ExperimentSettings, run_traffic, run_wordcount
+from .summary import RunSummary, summarize_run
 
 __all__ = [
+    "RunSpec",
+    "RunSummary",
+    "cache_dir",
+    "cache_enabled",
+    "clear_cache",
+    "execute_spec",
+    "run_grid",
+    "spec_cache_key",
+    "summarize_run",
+    "sweep",
+    "DEFAULT_SETTINGS",
     "fig1_fig3_baseline_timeline",
     "fig6_point_in_time",
     "fig7_zoom_spans",

@@ -4,21 +4,31 @@ Usage::
 
     python -m repro list
     python -m repro run fig8 [--duration 200] [--seed 1]
+    python -m repro run fig12 --jobs 8     # fan the sweep across cores
     python -m repro run table1
-    python -m repro compare            # baseline vs solution summary
+    python -m repro compare                # baseline vs solution summary
+    python -m repro cache info             # inspect the result cache
+    python -m repro cache clear
 
 The output is plain text (tables and ASCII timelines); experiment
-functions are resolved from :mod:`repro.experiments.figures`.
+functions are resolved from :mod:`repro.experiments.figures`.  Sweep
+experiments accept ``--jobs N`` to run their independent simulations on
+``N`` worker processes, and all of them reuse the content-addressed
+result cache under ``.repro-cache/`` (disable with ``--no-cache`` or
+``REPRO_CACHE=off``).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
 from . import figures
+from .parallel import CACHE_ENV, RunSpec, cache_dir, clear_cache, run_grid
 from .report import render_series, render_sweep, render_table, render_tails
 from .runner import ExperimentSettings
 
@@ -61,11 +71,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--warmup", type=float, default=40.0,
                      help="seconds excluded from measurement (default 40)")
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for sweep experiments "
+                          "(default serial; 0 = one per core)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the on-disk result cache")
     run.add_argument("--json", action="store_true",
                      help="dump the raw experiment dict as JSON")
 
-    sub.add_parser("compare",
-                   help="run traffic baseline vs solution and print tails")
+    compare = sub.add_parser(
+        "compare", help="run traffic baseline vs solution and print tails"
+    )
+    compare.add_argument("--duration", type=float, default=200.0)
+    compare.add_argument("--warmup", type=float, default=40.0)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default serial)")
+    compare.add_argument("--no-cache", action="store_true",
+                         help="bypass the on-disk result cache")
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
     return parser
 
 
@@ -113,6 +139,27 @@ def _summarize(name: str, out: dict) -> str:
     return "\n".join(lines)
 
 
+class _cache_override:
+    """Temporarily force ``REPRO_CACHE=off`` for ``--no-cache`` runs."""
+
+    def __init__(self, disable: bool) -> None:
+        self.disable = disable
+        self._saved: Optional[str] = None
+
+    def __enter__(self) -> "_cache_override":
+        if self.disable:
+            self._saved = os.environ.get(CACHE_ENV)
+            os.environ[CACHE_ENV] = "off"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.disable:
+            if self._saved is None:
+                os.environ.pop(CACHE_ENV, None)
+            else:
+                os.environ[CACHE_ENV] = self._saved
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -122,16 +169,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:10s} {doc}")
         return 0
 
+    if args.command == "cache":
+        root = cache_dir()
+        if args.action == "clear":
+            removed = clear_cache()
+            print(f"removed {removed} cached run(s) from {root}")
+        else:
+            entries = sorted(root.glob("*.json")) if root.is_dir() else []
+            total = sum(entry.stat().st_size for entry in entries)
+            print(f"cache directory: {root}")
+            print(f"entries: {len(entries)}  ({total / 1e6:.1f} MB)")
+        return 0
+
     if args.command == "compare":
         from ..core.mitigation import MitigationPlan
-        from .runner import run_traffic
 
-        settings = ExperimentSettings()
-        tails = {}
-        for name, plan in (("baseline", None),
-                           ("solution", MitigationPlan.paper_solution())):
-            result = run_traffic(mitigation=plan, settings=settings)
-            tails[name] = result.tail_summary(start=settings.warmup_s)
+        settings = ExperimentSettings(
+            duration_s=args.duration, warmup_s=args.warmup, seed=args.seed
+        )
+        specs = [
+            RunSpec(settings=settings, mitigation=plan, label=name)
+            for name, plan in (("baseline", None),
+                               ("solution", MitigationPlan.paper_solution()))
+        ]
+        with _cache_override(args.no_cache):
+            summaries = run_grid(specs, jobs=args.jobs)
+        tails = {s.label: s.tails for s in summaries}
         print(render_tails(tails))
         ratio = tails["solution"]["p999"] / tails["baseline"]["p999"]
         print(f"p99.9 reduced to {ratio:.0%} of baseline")
@@ -140,7 +203,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     settings = ExperimentSettings(
         duration_s=args.duration, warmup_s=args.warmup, seed=args.seed
     )
-    out = EXPERIMENTS[args.experiment](settings)
+    experiment = EXPERIMENTS[args.experiment]
+    kwargs = {"settings": settings}
+    if "jobs" in inspect.signature(experiment).parameters:
+        kwargs["jobs"] = args.jobs
+    with _cache_override(args.no_cache):
+        out = experiment(**kwargs)
     if args.json:
         json.dump(out, sys.stdout, indent=2, default=str)
         print()

@@ -15,14 +15,14 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..analysis.longtail import find_spikes, reduction_ratio, spike_period
-from ..analysis.overlap import burst_alignment, overlap_report
+from ..analysis.overlap import burst_alignment
 from ..core.allocation import (
     concurrency_latency_curve,
     recommend_compaction_threads,
 )
 from ..core.mitigation import MitigationPlan
-from ..storage.backend import NVME_SSD
-from .runner import DEFAULT_SETTINGS, ExperimentSettings, run_traffic, run_wordcount
+from .parallel import RunSpec, run_grid, sweep
+from .runner import DEFAULT_SETTINGS, ExperimentSettings, run_traffic
 
 __all__ = [
     "fig1_fig3_baseline_timeline",
@@ -205,22 +205,34 @@ def fig8_statistical(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
 # §4 — mitigation parameter studies
 # ----------------------------------------------------------------------
 
+#: Figure 12's standard 6-point compaction-delay grid (seconds).
+DELAY_SWEEP_S = (0.1, 0.5, 1.0, 3.0, 6.0, 8.0)
+
+
 def fig12_delay_sweep(
-    delays=(0.1, 0.5, 1.0, 3.0, 6.0, 8.0),
+    delays=DELAY_SWEEP_S,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: Optional[int] = None,
 ) -> Dict:
     """Figure 12: compaction delay sweep (on top of the randomized
     trigger, §4.1's combined setting).  Best around the ~1 s drain
     time; a delay near the checkpoint interval wraps into the next
     flush and regresses."""
-    rows = []
-    for delay in delays:
-        plan = MitigationPlan(
-            randomize_compaction_trigger=True, compaction_delay_s=delay
-        )
-        result = run_traffic(mitigation=plan, settings=settings)
-        tails = result.tail_summary(start=settings.warmup_s)
-        rows.append({"delay_s": delay, **tails})
+    summaries = sweep(
+        delays,
+        lambda delay: RunSpec(
+            settings=settings,
+            mitigation=MitigationPlan(
+                randomize_compaction_trigger=True, compaction_delay_s=delay
+            ),
+            label=f"delay={delay:g}s",
+        ),
+        jobs=jobs,
+    )
+    rows = [
+        {"delay_s": delay, **summary.tails}
+        for delay, summary in zip(delays, summaries)
+    ]
     best = min(rows, key=lambda r: r["p999"])
     return {"rows": rows, "best_delay_s": best["delay_s"]}
 
@@ -228,21 +240,29 @@ def fig12_delay_sweep(
 def fig13_flush_thread_sweep(
     threads=(1, 2, 4, 8, 16, 32, 64),
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: Optional[int] = None,
 ) -> Dict:
     """Figure 13: flush-pool sweep with §4.1 mitigations active so the
     flush effect is not drowned by compaction spikes.  Severe
     under-allocation is catastrophic; ≈ cores is best; 4× cores pays
     lock-contention overhead."""
-    rows = []
-    for n in threads:
-        plan = MitigationPlan(
-            randomize_compaction_trigger=True,
-            compaction_delay_s=1.0,
-            flush_threads=n,
-        )
-        result = run_traffic(mitigation=plan, settings=settings)
-        tails = result.tail_summary(start=settings.warmup_s)
-        rows.append({"flush_threads": n, **tails})
+    summaries = sweep(
+        threads,
+        lambda n: RunSpec(
+            settings=settings,
+            mitigation=MitigationPlan(
+                randomize_compaction_trigger=True,
+                compaction_delay_s=1.0,
+                flush_threads=n,
+            ),
+            label=f"flush_threads={n}",
+        ),
+        jobs=jobs,
+    )
+    rows = [
+        {"flush_threads": n, **summary.tails}
+        for n, summary in zip(threads, summaries)
+    ]
     best = min(rows, key=lambda r: r["p999"])
     return {"rows": rows, "best_flush_threads": best["flush_threads"]}
 
@@ -250,23 +270,34 @@ def fig13_flush_thread_sweep(
 def fig14_compaction_thread_sweep(
     threads=(1, 2, 4, 8, 16),
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: Optional[int] = None,
 ) -> Dict:
     """Figure 14: compaction-pool sweep on the baseline.  One thread
     cannot keep up (L0 write stalls; tails grow with run length — the
     paper reports minutes), a handful is best, and the default 16
     recreates the full ShadowSync contention."""
-    rows = []
-    for n in threads:
-        plan = MitigationPlan(compaction_threads=n)
-        result = run_traffic(mitigation=plan, settings=settings)
-        tails = result.tail_summary(start=settings.warmup_s)
-        rows.append({"compaction_threads": n, **tails})
+    summaries = sweep(
+        threads,
+        lambda n: RunSpec(
+            settings=settings,
+            mitigation=MitigationPlan(compaction_threads=n),
+            label=f"compaction_threads={n}",
+        ),
+        jobs=jobs,
+    )
+    rows = [
+        {"compaction_threads": n, **summary.tails}
+        for n, summary in zip(threads, summaries)
+    ]
     good = [r for r in rows if r["compaction_threads"] > 1]
     best = min(good, key=lambda r: r["p999"])
     return {"rows": rows, "best_compaction_threads": best["compaction_threads"]}
 
 
-def fig15_kneedle(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+def fig15_kneedle(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: Optional[int] = None,
+) -> Dict:
     """Figure 15: infer the compaction allocation from one run.
 
     50 ms windows of a randomized-trigger run (whose burst sizes vary
@@ -279,11 +310,20 @@ def fig15_kneedle(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
         warmup_s=settings.warmup_s,
         seed=settings.seed,
     )
-    plan = MitigationPlan(randomize_compaction_trigger=True)
-    result = run_traffic(mitigation=plan, settings=long_settings)
-    start, end = long_settings.measure_span
-    wt, wl = result.latency_timeline(0.999, window=0.05, start=start, end=end)
-    ct, cc = result.concurrency("compaction", start, end, dt=0.05)
+    (summary,) = run_grid(
+        [
+            RunSpec(
+                settings=long_settings,
+                mitigation=MitigationPlan(randomize_compaction_trigger=True),
+                label="fig15-long-run",
+            )
+        ],
+        jobs=jobs,
+    )
+    wt = np.array(summary.fine_times)
+    wl = np.array(summary.fine_p999)
+    ct = np.array(summary.concurrency_times)
+    cc = np.array(summary.compaction_concurrency)
     per_node = np.floor(cc / 4.0)
     levels, means = concurrency_latency_curve(wt, wl, ct, per_node, min_windows=5)
     knee = recommend_compaction_threads(levels, means)
@@ -298,31 +338,38 @@ def fig15_kneedle(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
 # §5 — evaluation of the mitigation methods
 # ----------------------------------------------------------------------
 
-def _baseline_vs_solution(run, settings: ExperimentSettings, **kwargs) -> Dict:
+def _baseline_vs_solution(
+    kind: str,
+    settings: ExperimentSettings,
+    storage: str = "tmpfs",
+    jobs: Optional[int] = None,
+) -> Dict:
+    specs = [
+        RunSpec(
+            kind=kind,
+            settings=settings,
+            mitigation=plan,
+            storage=storage,
+            label=name,
+        )
+        for name, plan in (
+            ("baseline", None),
+            ("solution", MitigationPlan.paper_solution()),
+        )
+    ]
+    summaries = run_grid(specs, jobs=jobs)
     out: Dict = {}
-    for name, plan in (
-        ("baseline", None),
-        ("solution", MitigationPlan.paper_solution()),
-    ):
-        result = run(mitigation=plan, settings=settings, **kwargs)
-        times, p999 = _timeline(result, settings)
-        start, end = settings.measure_span
-        _, comp_c = result.concurrency("compaction", start, end)
-        cps = [t for t in result.coordinator.checkpoint_times() if t >= start]
-        out[name] = {
-            "tails": result.tail_summary(start=start),
-            "timeline": (times.tolist(), p999.tolist()),
-            "peak_p999": float(p999.max()),
-            "compaction_concurrency_peak": float(comp_c.max()),
+    for spec, summary in zip(specs, summaries):
+        out[spec.label] = {
+            "tails": summary.tails,
+            "timeline": (summary.coarse_times, summary.coarse_p999),
+            "peak_p999": summary.peak_p999,
+            "compaction_concurrency_peak": summary.compaction_concurrency_peak,
             "per_checkpoint_compactions": {
                 k: v
-                for k, v in sorted(
-                    burst_alignment(result.spans, ["s0", "s1"], cps).items()
-                )
-            }
-            if cps
-            else {},
-            "overlap": overlap_report(result.spans, start, end).as_dict(),
+                for k, v in sorted(summary.per_checkpoint_compactions.items())
+            },
+            "overlap": summary.overlap,
         }
     out["reduction_p999"] = reduction_ratio(
         out["baseline"]["tails"]["p999"], out["solution"]["tails"]["p999"]
@@ -335,54 +382,66 @@ def _baseline_vs_solution(run, settings: ExperimentSettings, **kwargs) -> Dict:
 
 def fig16_traffic_mitigation(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: Optional[int] = None,
 ) -> Dict:
     """Figure 16: traffic job, baseline vs §4 solution (randomized
     trigger + 1 s delay).  Spikes above 2 s become sub-second; the
     compaction activity spreads across the 4-checkpoint cycle."""
-    return _baseline_vs_solution(
-        run_traffic, settings, initial_l0="aligned", checkpoint_interval_s=8.0
-    )
+    return _baseline_vs_solution("traffic", settings, jobs=jobs)
 
 
-def fig17_wordcount_tails(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+def fig17_wordcount_tails(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: Optional[int] = None,
+) -> Dict:
     """Figure 17: WordCount p99.9 — baseline ≈ 1.3 s vs solution ≈ 0.7 s."""
-    return _baseline_vs_solution(run_wordcount, settings)
+    return _baseline_vs_solution("wordcount", settings, jobs=jobs)
 
 
 def fig18_wordcount_timeline(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: Optional[int] = None,
 ) -> Dict:
     """Figure 18: WordCount fine-grained timelines and concurrency."""
-    return _baseline_vs_solution(run_wordcount, settings)
+    return _baseline_vs_solution("wordcount", settings, jobs=jobs)
 
 
-def fig19_traffic_nvme(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+def fig19_traffic_nvme(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: Optional[int] = None,
+) -> Dict:
     """Figure 19: traffic on NVMe — mitigations remain effective when
     flush/compaction pay real I/O costs."""
-    return _baseline_vs_solution(
-        run_traffic,
-        settings,
-        initial_l0="aligned",
-        checkpoint_interval_s=8.0,
-        storage=NVME_SSD,
-    )
+    return _baseline_vs_solution("traffic", settings, storage="nvme", jobs=jobs)
 
 
-def fig20_wordcount_nvme(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+def fig20_wordcount_nvme(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: Optional[int] = None,
+) -> Dict:
     """Figure 20: WordCount on NVMe — baseline degrades vs tmpfs and
     the mitigations still remove the ShadowSync spikes."""
-    return _baseline_vs_solution(run_wordcount, settings, storage=NVME_SSD)
+    return _baseline_vs_solution("wordcount", settings, storage="nvme", jobs=jobs)
 
 
-def headline_reduction(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+def headline_reduction(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    jobs: Optional[int] = None,
+) -> Dict:
     """§5 headline: mitigated p99.9 ≲ 20–25 % and p95 < 50 % of the
     baseline (with all three §4 techniques enabled)."""
-    baseline = run_traffic(initial_l0="aligned", settings=settings)
-    full = run_traffic(
-        mitigation=MitigationPlan.full(), initial_l0="aligned", settings=settings
+    baseline, full = run_grid(
+        [
+            RunSpec(settings=settings, label="baseline"),
+            RunSpec(
+                settings=settings,
+                mitigation=MitigationPlan.full(),
+                label="mitigated",
+            ),
+        ],
+        jobs=jobs,
     )
-    b = baseline.tail_summary(start=settings.warmup_s)
-    f = full.tail_summary(start=settings.warmup_s)
+    b, f = baseline.tails, full.tails
     return {
         "baseline": b,
         "mitigated": f,

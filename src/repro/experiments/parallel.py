@@ -1,0 +1,327 @@
+"""Parallel experiment execution with a content-addressed result cache.
+
+The paper's methodology is embarrassingly parallel — every figure is a
+sweep of independent ``(config, seed)`` runs — but the seed executed
+them strictly serially.  This module is the execution layer the sweeps
+go through instead:
+
+* :class:`RunSpec` — a frozen, picklable description of one run
+  (benchmark kind, mitigation plan, checkpoint/commit interval, initial
+  L0 phase, storage profile, :class:`ExperimentSettings`);
+* :func:`run_grid` — fan a list of specs across worker processes
+  (``multiprocessing`` *spawn* context, deterministic, results returned
+  in submission order) with each worker reducing its run to a
+  :class:`~repro.experiments.summary.RunSummary` before crossing the
+  process boundary;
+* :func:`sweep` — the one-parameter-sweep convenience wrapper;
+* a content-addressed on-disk cache (``.repro-cache/`` by default)
+  keyed on a SHA-256 of the canonical spec JSON plus the package
+  version, so regenerating a figure twice costs one disk read per run.
+
+Environment toggles::
+
+    REPRO_CACHE=off        # disable the cache entirely
+    REPRO_CACHE_DIR=path   # relocate it (default ./.repro-cache)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from .. import __version__
+from ..core.mitigation import MitigationPlan
+from ..errors import ConfigurationError
+from ..storage.backend import profile_by_name
+from .runner import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    run_traffic,
+    run_wordcount,
+)
+from .summary import RunSummary, summarize_run
+
+__all__ = [
+    "RunSpec",
+    "run_grid",
+    "sweep",
+    "execute_spec",
+    "cache_enabled",
+    "cache_dir",
+    "spec_cache_key",
+    "cache_load",
+    "cache_store",
+    "clear_cache",
+]
+
+CACHE_ENV = "REPRO_CACHE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Version stamped into every cache key: a new release invalidates all
+#: cached summaries (simulation or analysis code may have changed).
+_PACKAGE_VERSION = __version__
+
+_KINDS = ("traffic", "wordcount")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (config, seed) run, fully described by plain data.
+
+    Everything here pickles cleanly under the *spawn* start method and
+    hashes canonically for the result cache.  ``label`` is presentation
+    only and excluded from the cache key.
+    """
+
+    kind: str = "traffic"
+    settings: ExperimentSettings = DEFAULT_SETTINGS
+    mitigation: Optional[MitigationPlan] = None
+    #: Checkpoint interval (traffic) or commit interval (wordcount).
+    interval_s: float = 8.0
+    #: Initial L0 counter phase ("aligned" / "staggered"); traffic only.
+    initial_l0: Union[str, Dict[str, int]] = "aligned"
+    #: Storage profile name ("tmpfs" / "nvme" / "hdd").
+    storage: str = "tmpfs"
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown run kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        profile_by_name(self.storage)  # raises on unknown profiles
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        """A copy of this spec running under a different seed."""
+        return replace(self, settings=replace(self.settings, seed=seed))
+
+    def key_dict(self) -> dict:
+        """Canonical content for hashing (label excluded)."""
+        return {
+            "kind": self.kind,
+            "settings": asdict(self.settings),
+            "mitigation": None if self.mitigation is None else asdict(self.mitigation),
+            "interval_s": self.interval_s,
+            "initial_l0": self.initial_l0,
+            "storage": self.storage,
+        }
+
+
+# ----------------------------------------------------------------------
+# the worker-side step
+# ----------------------------------------------------------------------
+
+def execute_spec(spec: RunSpec) -> RunSummary:
+    """Run one spec to completion and reduce it to a summary."""
+    if spec.kind == "traffic":
+        result = run_traffic(
+            mitigation=spec.mitigation,
+            checkpoint_interval_s=spec.interval_s,
+            initial_l0=spec.initial_l0,
+            storage=profile_by_name(spec.storage),
+            settings=spec.settings,
+        )
+    else:
+        result = run_wordcount(
+            mitigation=spec.mitigation,
+            commit_interval_s=spec.interval_s,
+            storage=profile_by_name(spec.storage),
+            settings=spec.settings,
+        )
+    return summarize_run(result, spec.settings, kind=spec.kind, label=spec.label)
+
+
+def _worker(payload):
+    """Pool entry point: returns ``(index, summary_dict)``.
+
+    Only the plain dict crosses the process boundary — the live job
+    (generators, callbacks) dies with the worker.
+    """
+    index, spec = payload
+    return index, execute_spec(spec).to_dict()
+
+
+# ----------------------------------------------------------------------
+# the cache
+# ----------------------------------------------------------------------
+
+def cache_enabled() -> bool:
+    """Whether the on-disk cache is active (``REPRO_CACHE=off`` kills it)."""
+    return os.environ.get(CACHE_ENV, "").lower() not in ("off", "0", "false", "no")
+
+
+def cache_dir(directory: Optional[Union[str, Path]] = None) -> Path:
+    """Resolve the cache directory (argument > env > default)."""
+    if directory is not None:
+        return Path(directory)
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+def spec_cache_key(spec: RunSpec, version: Optional[str] = None) -> str:
+    """Content address of a spec: SHA-256 over canonical JSON + version."""
+    payload = {
+        "spec": spec.key_dict(),
+        "version": _PACKAGE_VERSION if version is None else version,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cache_load(
+    spec: RunSpec, directory: Optional[Union[str, Path]] = None
+) -> Optional[RunSummary]:
+    """Fetch a cached summary for *spec*, or ``None`` on a miss."""
+    path = cache_dir(directory) / f"{spec_cache_key(spec)}.json"
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            stored = json.load(handle)
+        return RunSummary.from_dict(stored["summary"])
+    except (OSError, KeyError, TypeError, ValueError):
+        # Missing, concurrently-written or corrupt entries are misses.
+        return None
+
+
+def cache_store(
+    spec: RunSpec,
+    summary: RunSummary,
+    directory: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Persist *summary* under *spec*'s content address (atomically)."""
+    root = cache_dir(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    key = spec_cache_key(spec)
+    path = root / f"{key}.json"
+    payload = {
+        "key": key,
+        "version": _PACKAGE_VERSION,
+        "spec": spec.key_dict(),
+        "summary": summary.to_dict(),
+    }
+    tmp = root / f".{key}.{os.getpid()}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)  # atomic: concurrent writers race benignly
+    return path
+
+
+def clear_cache(directory: Optional[Union[str, Path]] = None) -> int:
+    """Delete all cached summaries; returns the number removed."""
+    root = cache_dir(directory)
+    removed = 0
+    if root.is_dir():
+        for entry in root.glob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    """``None`` → serial; ``<= 0`` → one worker per core; else *jobs*."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_grid(
+    specs: Iterable[RunSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_directory: Optional[Union[str, Path]] = None,
+) -> List[RunSummary]:
+    """Execute every spec and return summaries in submission order.
+
+    Parameters
+    ----------
+    specs:
+        The runs to execute.
+    jobs:
+        ``None`` runs serially in-process; ``N > 1`` fans uncached runs
+        over ``N`` spawn workers; ``0`` means one worker per core.
+    cache:
+        Force the cache on/off; ``None`` defers to ``REPRO_CACHE``.
+    cache_directory:
+        Override the cache location (default: ``REPRO_CACHE_DIR`` or
+        ``./.repro-cache``).
+
+    Serial and parallel execution produce bit-identical summaries: the
+    simulator is fully seeded, workers are independent, and both paths
+    round-trip through ``RunSummary.to_dict``/``from_dict``.
+    """
+    spec_list = list(specs)
+    use_cache = cache_enabled() if cache is None else bool(cache)
+    results: List[Optional[RunSummary]] = [None] * len(spec_list)
+
+    missing: List[int] = []
+    for index, spec in enumerate(spec_list):
+        hit = cache_load(spec, cache_directory) if use_cache else None
+        if hit is not None:
+            # The label is excluded from the cache key (presentation
+            # only), so a hit may carry the label of whichever figure
+            # cached it first — restamp with the requesting spec's.
+            results[index] = dataclasses.replace(hit, label=spec.label)
+        else:
+            missing.append(index)
+
+    workers = min(_resolve_jobs(jobs), max(len(missing), 1))
+    if workers <= 1 or len(missing) <= 1:
+        for index in missing:
+            # Round-trip through the dict form so serial results are
+            # bit-identical to what a worker would have shipped back.
+            results[index] = RunSummary.from_dict(
+                execute_spec(spec_list[index]).to_dict()
+            )
+    else:
+        context = multiprocessing.get_context("spawn")
+        payloads = [(index, spec_list[index]) for index in missing]
+        with context.Pool(workers) as pool:
+            for index, data in pool.imap_unordered(_worker, payloads):
+                results[index] = RunSummary.from_dict(data)
+
+    if use_cache:
+        for index in missing:
+            cache_store(spec_list[index], results[index], cache_directory)
+    return results  # type: ignore[return-value]
+
+
+def sweep(
+    values: Sequence,
+    make_spec: Callable[[object], RunSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_directory: Optional[Union[str, Path]] = None,
+) -> List[RunSummary]:
+    """Map *values* through *make_spec* and execute the resulting grid.
+
+    The classic one-parameter sweep::
+
+        summaries = sweep(
+            (0.1, 0.5, 1.0),
+            lambda delay: RunSpec(
+                mitigation=MitigationPlan(
+                    randomize_compaction_trigger=True,
+                    compaction_delay_s=delay,
+                ),
+            ),
+            jobs=8,
+        )
+
+    Summaries come back aligned with *values*.
+    """
+    specs = [make_spec(value) for value in values]
+    return run_grid(specs, jobs=jobs, cache=cache, cache_directory=cache_directory)

@@ -7,8 +7,8 @@ are regenerable with one call each.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Union
 
 from ..apps.traffic_job import build_traffic_job
 from ..apps.wordcount_job import build_wordcount_job
@@ -34,6 +34,19 @@ class ExperimentSettings:
     @property
     def measure_span(self):
         return self.warmup_s, self.duration_s
+
+    def with_seed(self, seed: int) -> "ExperimentSettings":
+        """A copy running under a different seed (multi-seed sweeps)."""
+        return replace(self, seed=seed)
+
+    def seed_series(self, count: int, first: Optional[int] = None) -> List["ExperimentSettings"]:
+        """*count* consecutive-seed copies, for statistical sweeps."""
+        base = self.seed if first is None else first
+        return [self.with_seed(base + i) for i in range(count)]
+
+    def as_dict(self) -> dict:
+        """Plain-data form (cache keys, logs)."""
+        return asdict(self)
 
 
 DEFAULT_SETTINGS = ExperimentSettings()

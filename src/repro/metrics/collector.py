@@ -112,15 +112,19 @@ class MetricsCollector:
             if not resources:
                 raise KeyError(f"no resource named {node!r}")
             return StepSeries(resources[0].util_segments)
-        # mean across nodes: merge breakpoints
-        merged: Dict[float, float] = {}
+        # mean across nodes: merge breakpoints and sample every series
+        # at every merged time (vectorized — the per-node histories hold
+        # tens of thousands of breakpoints over a 200 s run).
         count = max(len(resources), 1)
-        points: List[Tuple[float, float]] = []
         series_list = [StepSeries(r.util_segments) for r in resources]
-        all_times = sorted({t for s in series_list for t, _v in s.breakpoints})
-        for t in all_times:
-            points.append((t, sum(s.value_at(t) for s in series_list) / count))
-        return StepSeries(points)
+        nonempty = [s.times for s in series_list if len(s)]
+        if not nonempty:
+            return StepSeries([])
+        all_times = np.unique(np.concatenate(nonempty))
+        total = np.zeros(len(all_times))
+        for series in series_list:
+            total += series.values_at(all_times)
+        return StepSeries(zip(all_times.tolist(), (total / count).tolist()))
 
     def node_names(self) -> List[str]:
         return [r.name for r in self._resources]
@@ -136,18 +140,19 @@ class MetricsCollector:
         if not stats:
             return []
 
-        def find_period(start_time: float) -> Optional[int]:
-            for i, edge in enumerate(edges):
-                upper = edges[i + 1] if i + 1 < len(edges) else float("inf")
-                if edge <= start_time < upper:
-                    return i
-            return None
+        # A span belongs to period i when edges[i] <= start < edges[i+1]
+        # (last period open-ended); one searchsorted replaces the
+        # O(spans × checkpoints) scan.
+        spans_list = list(self.spans)
+        if not spans_list:
+            return stats
+        starts = np.array([span.start for span in spans_list])
+        periods = np.searchsorted(np.asarray(edges), starts, side="right") - 1
 
         flush_durations: Dict[Tuple[int, str], List[float]] = {}
         comp_durations: Dict[Tuple[int, str], List[float]] = {}
-        for span in self.spans:
-            period = find_period(span.start)
-            if period is None:
+        for span, period in zip(spans_list, periods):
+            if period < 0:
                 continue
             row = stats[period]
             stage = span.stage

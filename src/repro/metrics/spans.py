@@ -114,13 +114,25 @@ class SpanLog:
         """
         times = np.arange(start, end, dt)
         counts = np.zeros(len(times))
-        for span in self.spans(kind=kind, stage=stage, node=node, window=(start, end)):
-            lo = int(np.floor((span.start - start) / dt))
-            hi = int(np.ceil((span.end - start) / dt))
-            lo = max(lo, 0)
-            hi = min(hi, len(times))
-            if hi > lo:
-                counts[lo:hi] += 1
+        selected = self.spans(kind=kind, stage=stage, node=node,
+                              window=(start, end))
+        if selected:
+            # Difference-array formulation of the interval stabbing:
+            # +1 at each span's first bin, -1 past its last, then a
+            # cumulative sum — O(spans + grid) instead of O(spans × grid).
+            lo = np.floor(
+                (np.array([s.start for s in selected]) - start) / dt
+            ).astype(int)
+            hi = np.ceil(
+                (np.array([s.end for s in selected]) - start) / dt
+            ).astype(int)
+            lo = np.maximum(lo, 0)
+            hi = np.minimum(hi, len(times))
+            valid = hi > lo
+            delta = np.zeros(len(times) + 1)
+            np.add.at(delta, lo[valid], 1.0)
+            np.add.at(delta, hi[valid], -1.0)
+            counts = np.cumsum(delta[:-1])
         return times, counts
 
     def peak_concurrency(self, start: float, end: float, **filters) -> int:
@@ -159,13 +171,16 @@ class SpanLog:
         edges = list(cycle_starts)
         counts: Dict[int, int] = {i: 0 for i in range(len(edges))}
         spans = self.spans(kind=kind, stage=stage)
-        for span in spans:
-            when = span.start if by == "start" else (
+        if not spans or not edges:
+            return counts
+        whens = np.array([
+            span.start if by == "start" else (
                 span.submit if span.submit is not None else span.start
             )
-            for i, edge in enumerate(edges):
-                upper = edges[i + 1] if i + 1 < len(edges) else float("inf")
-                if edge <= when < upper:
-                    counts[i] += 1
-                    break
+            for span in spans
+        ])
+        periods = np.searchsorted(np.asarray(edges), whens, side="right") - 1
+        tallies = np.bincount(periods[periods >= 0], minlength=len(edges))
+        for i, tally in enumerate(tallies.tolist()):
+            counts[i] = tally
         return counts

@@ -36,40 +36,48 @@ class StepSeries:
     def breakpoints(self) -> List[Tuple[float, float]]:
         return list(zip(self._times.tolist(), self._values.tolist()))
 
+    @property
+    def times(self) -> np.ndarray:
+        """Breakpoint times (read-only view)."""
+        return self._times
+
     def value_at(self, time: float) -> float:
         idx = np.searchsorted(self._times, time, side="right") - 1
         if idx < 0:
             return 0.0
         return float(self._values[idx])
 
+    def values_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value_at` for an array of query times."""
+        times = np.asarray(times, dtype=float)
+        if len(self._times) == 0:
+            return np.zeros(len(times))
+        idx = np.searchsorted(self._times, times, side="right") - 1
+        return np.where(idx >= 0, self._values[np.clip(idx, 0, None)], 0.0)
+
     def on_grid(self, start: float, end: float, dt: float) -> Tuple[np.ndarray, np.ndarray]:
         """Sample on a uniform grid; returns ``(times, values)``."""
         if end <= start:
             raise AnalysisError(f"empty grid interval [{start}, {end}]")
         times = np.arange(start, end, dt)
-        if len(self._times) == 0:
-            return times, np.zeros(len(times))
-        idx = np.searchsorted(self._times, times, side="right") - 1
-        values = np.where(idx >= 0, self._values[np.clip(idx, 0, None)], 0.0)
-        return times, values
+        return times, self.values_at(times)
+
+    def _stepwise(self, start: float, end: float) -> Tuple[np.ndarray, np.ndarray]:
+        """``(durations, values)`` of the constant pieces covering
+        ``[start, end]`` — the common core of the exact integrals."""
+        inside = (self._times > start) & (self._times < end)
+        edges = np.concatenate(([start], self._times[inside], [end]))
+        piece_values = np.concatenate(
+            ([self.value_at(start)], self._values[inside])
+        )
+        return np.diff(edges), piece_values
 
     def time_average(self, start: float, end: float) -> float:
         """Exact time-weighted mean over ``[start, end]``."""
         if end <= start:
             raise AnalysisError("time_average over empty interval")
-        total = 0.0
-        current = self.value_at(start)
-        last = start
-        for t, v in zip(self._times, self._values):
-            if t <= start:
-                continue
-            if t >= end:
-                break
-            total += current * (t - last)
-            current = v
-            last = t
-        total += current * (end - last)
-        return total / (end - start)
+        durations, piece_values = self._stepwise(start, end)
+        return float(np.dot(durations, piece_values)) / (end - start)
 
     def maximum(self, start: float, end: float) -> float:
         value = self.value_at(start)
@@ -82,21 +90,8 @@ class StepSeries:
         """Fraction of ``[start, end]`` spent strictly above *threshold*."""
         if end <= start:
             raise AnalysisError("fraction_above over empty interval")
-        above = 0.0
-        current = self.value_at(start)
-        last = start
-        for t, v in zip(self._times, self._values):
-            if t <= start:
-                continue
-            if t >= end:
-                break
-            if current > threshold:
-                above += t - last
-            current = v
-            last = t
-        if current > threshold:
-            above += end - last
-        return above / (end - start)
+        durations, piece_values = self._stepwise(start, end)
+        return float(durations[piece_values > threshold].sum()) / (end - start)
 
 
 def millibottleneck_windows(

@@ -25,13 +25,15 @@ share drops below its keep-up demand and the backlog takes off.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, NamedTuple, Optional
+
+import numpy as np
 
 from ..errors import SimulationError
 from .events import Event
 from .kernel import Simulator
 
-__all__ = ["FlowSegment", "FluidFlow"]
+__all__ = ["FlowSegment", "FlowHistory", "FluidFlow"]
 
 _EPS = 1e-9
 
@@ -76,6 +78,21 @@ class FlowSegment:
         )
 
 
+class FlowHistory(NamedTuple):
+    """A flow's recorded history as parallel numpy arrays.
+
+    The post-run analysis (latency inversion, queue timelines) samples
+    the same history many times on different grids; extracting the
+    per-segment attributes into arrays once — instead of per analysis
+    call — is what :meth:`FluidFlow.history` caches.
+    """
+
+    times: np.ndarray
+    arrival: np.ndarray
+    serve: np.ndarray
+    queue: np.ndarray
+
+
 class FluidFlow:
     """An elastic message-processing consumer on a shared resource."""
 
@@ -108,6 +125,7 @@ class FluidFlow:
 
         #: Recorded piecewise history for post-run latency inversion.
         self.segments: List[FlowSegment] = []
+        self._history: Optional[FlowHistory] = None
         #: Callbacks receiving the new output (served) rate in msgs/s.
         self.output_listeners: List[Callable[[float], None]] = []
 
@@ -214,6 +232,7 @@ class FluidFlow:
     # ------------------------------------------------------------------
 
     def _record_segment(self, now: float) -> None:
+        self._history = None  # array cache is stale once history grows
         segment = FlowSegment(
             now,
             self.arrival_rate,
@@ -278,6 +297,22 @@ class FluidFlow:
         elapsed = time - previous.time
         queue = previous.queue + (previous.arrival_rate - previous.serve_rate) * elapsed
         return max(0.0, queue)
+
+    def history(self) -> FlowHistory:
+        """The recorded segments as cached numpy arrays.
+
+        Built lazily on first use (normally after :meth:`finalize`) and
+        invalidated whenever a new segment is recorded.
+        """
+        if self._history is None:
+            segments = self.segments
+            self._history = FlowHistory(
+                times=np.array([s.time for s in segments], dtype=float),
+                arrival=np.array([s.arrival_rate for s in segments], dtype=float),
+                serve=np.array([s.serve_rate for s in segments], dtype=float),
+                queue=np.array([s.queue for s in segments], dtype=float),
+            )
+        return self._history
 
     def finalize(self, end_time: float) -> None:
         """Close the recorded history at *end_time* (end of run)."""

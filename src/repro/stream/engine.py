@@ -30,6 +30,7 @@ from ..metrics.collector import MetricsCollector
 from ..metrics.percentiles import (
     compose_latencies,
     latency_from_segments,
+    rates_on_grid,
     tail_summary,
     windowed_quantile,
 )
@@ -352,6 +353,12 @@ class StreamJobResult:
         self.collector = job.collector
         self.coordinator = job.coordinator
         self.spans = job.collector.spans
+        #: Memoized ``(start, end, dt) -> (times, latency, weights)``.
+        #: The latency inversion is the single most repeated analysis:
+        #: tails, the coarse and fine timelines and the run summary all
+        #: ask for the same grid.  Callers treat the arrays as
+        #: read-only.
+        self._latency_cache: Dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # latency
@@ -366,7 +373,7 @@ class StreamJobResult:
         weights = None
         times = None
         for flow in stage.flows.values():
-            t, lat, w = latency_from_segments(flow.segments, start, end, dt)
+            t, lat, w = latency_from_segments(flow.history(), start, end, dt)
             latencies.append(lat)
             times = t
             weights = w if weights is None else weights + w
@@ -383,6 +390,10 @@ class StreamJobResult:
         """
         if end is None:
             end = self.duration
+        key = (start, end, dt)
+        cached = self._latency_cache.get(key)
+        if cached is not None:
+            return cached
         per_stage = []
         weights = None
         times = None
@@ -393,7 +404,9 @@ class StreamJobResult:
             if weights is None:
                 weights = w
         total = compose_latencies(times, per_stage)
-        return times, total + self.job.cost.base_latency_seconds, weights
+        result = times, total + self.job.cost.base_latency_seconds, weights
+        self._latency_cache[key] = result
+        return result
 
     def latency_timeline(
         self,
@@ -423,10 +436,8 @@ class StreamJobResult:
         stage = self.job.stage(stage_name)
         times = np.arange(start, end, dt)
         total = np.zeros(len(times))
-        from ..metrics.percentiles import rates_on_grid
-
         for flow in stage.flows.values():
-            _t, _lam, _mu, queue = rates_on_grid(flow.segments, start, end, dt)
+            _t, _lam, _mu, queue = rates_on_grid(flow.history(), start, end, dt)
             total += queue
         return times, total
 

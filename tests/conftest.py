@@ -6,10 +6,29 @@ session-scoped results instead of re-running the simulation per test.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.apps import build_traffic_job, build_wordcount_job
 from repro.core import MitigationPlan
+from repro.experiments.parallel import CACHE_DIR_ENV
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_cache(tmp_path_factory):
+    """Keep experiment-result cache writes out of the repo during tests.
+
+    Tests still benefit from intra-session cache hits (repeated CLI
+    smoke runs of the same figure reuse one simulation)."""
+    cache_root = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(cache_root)
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
 
 #: Standard measurement window for the shared runs.
 WARMUP = 40.0

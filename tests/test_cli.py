@@ -49,6 +49,48 @@ def test_run_json_output(capsys):
     assert "spikes" in payload and "tails" in payload
 
 
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_run_succeeds_for_every_experiment(name, capsys):
+    """Regression: sweep experiments crashed with TypeError when the CLI
+    passed settings positionally into their sweep-list parameter."""
+    code = main(["run", name, "--duration", "48", "--warmup", "16"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"== {name} ==" in out
+
+
+def test_run_sweep_with_jobs_flag(capsys):
+    code = main(["run", "fig12", "--duration", "30", "--warmup", "10",
+                 "--jobs", "2", "--no-cache"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "delay_s" in out
+
+
+def test_compare_command(capsys):
+    code = main(["compare", "--duration", "48", "--warmup", "16"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "solution" in out
+    assert "p99.9 reduced to" in out
+
+
+def test_cache_info_and_clear(capsys, tmp_path, monkeypatch):
+    from repro.experiments.parallel import CACHE_DIR_ENV
+
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cli-cache"))
+    assert main(["run", "fig16", "--duration", "48", "--warmup", "16"]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "info"]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 2" in out
+
+    assert main(["cache", "clear"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 2" in out
+
+
 def test_unknown_experiment_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["run", "fig99"])

@@ -1,0 +1,109 @@
+"""Tests for the content-addressed experiment result cache."""
+
+import dataclasses
+
+import pytest
+
+import repro.experiments.parallel as parallel_mod
+from repro.experiments.parallel import (
+    CACHE_ENV,
+    RunSpec,
+    cache_enabled,
+    cache_load,
+    cache_store,
+    clear_cache,
+    run_grid,
+    spec_cache_key,
+)
+from repro.experiments.runner import ExperimentSettings
+
+SHORT = ExperimentSettings(duration_s=25.0, warmup_s=8.0, seed=11)
+
+
+@pytest.fixture()
+def cache_root(tmp_path):
+    return tmp_path / "cache"
+
+
+def test_hit_on_identical_spec(cache_root, monkeypatch):
+    spec = RunSpec(settings=SHORT)
+    first = run_grid([spec], cache_directory=cache_root)
+    assert len(list(cache_root.glob("*.json"))) == 1
+
+    # A cache hit must never re-run the simulation.
+    def boom(_spec):
+        raise AssertionError("cache miss: simulation re-executed")
+
+    monkeypatch.setattr(parallel_mod, "execute_spec", boom)
+    second = run_grid([spec], cache_directory=cache_root)
+    assert second[0].to_dict() == first[0].to_dict()
+
+
+def test_miss_on_changed_seed(cache_root):
+    spec = RunSpec(settings=SHORT)
+    assert spec_cache_key(spec) != spec_cache_key(spec.with_seed(99))
+
+
+def test_miss_on_changed_config(cache_root):
+    base = RunSpec(settings=SHORT)
+    assert spec_cache_key(base) != spec_cache_key(
+        dataclasses.replace(base, interval_s=16.0)
+    )
+    assert spec_cache_key(base) != spec_cache_key(
+        dataclasses.replace(base, storage="nvme")
+    )
+    longer = dataclasses.replace(
+        base, settings=dataclasses.replace(SHORT, duration_s=50.0)
+    )
+    assert spec_cache_key(base) != spec_cache_key(longer)
+
+
+def test_miss_on_package_version_change(cache_root, monkeypatch):
+    spec = RunSpec(settings=SHORT)
+    key_now = spec_cache_key(spec)
+    monkeypatch.setattr(parallel_mod, "_PACKAGE_VERSION", "999.0.0")
+    assert spec_cache_key(spec) != key_now
+
+
+def test_stale_version_entry_not_served(cache_root, monkeypatch):
+    spec = RunSpec(settings=SHORT)
+    run_grid([spec], cache_directory=cache_root)
+    monkeypatch.setattr(parallel_mod, "_PACKAGE_VERSION", "999.0.0")
+    assert cache_load(spec, cache_root) is None
+
+
+def test_env_off_bypasses_cache(cache_root, monkeypatch):
+    monkeypatch.setenv(CACHE_ENV, "off")
+    assert not cache_enabled()
+    run_grid([RunSpec(settings=SHORT)], cache_directory=cache_root)
+    assert not list(cache_root.glob("*.json"))
+
+
+def test_cache_false_argument_bypasses_cache(cache_root):
+    run_grid([RunSpec(settings=SHORT)], cache=False, cache_directory=cache_root)
+    assert not list(cache_root.glob("*.json"))
+
+
+def test_corrupt_entry_falls_back_to_running(cache_root):
+    spec = RunSpec(settings=SHORT)
+    first = run_grid([spec], cache_directory=cache_root)
+    entry = next(cache_root.glob("*.json"))
+    entry.write_text("{not json")
+    again = run_grid([spec], cache_directory=cache_root)
+    assert again[0].to_dict() == first[0].to_dict()
+
+
+def test_store_and_load_roundtrip(cache_root):
+    spec = RunSpec(settings=SHORT)
+    summary = run_grid([spec], cache=False)[0]
+    path = cache_store(spec, summary, cache_root)
+    assert path.name == f"{spec_cache_key(spec)}.json"
+    loaded = cache_load(spec, cache_root)
+    assert loaded is not None
+    assert loaded.to_dict() == summary.to_dict()
+
+
+def test_clear_cache(cache_root):
+    run_grid([RunSpec(settings=SHORT)], cache_directory=cache_root)
+    assert clear_cache(cache_root) == 1
+    assert not list(cache_root.glob("*.json"))
