@@ -8,7 +8,7 @@ checkpoint, inflating every flush phase and with it every ShadowSync
 window.
 """
 
-from repro.config import CheckpointConfig, ClusterConfig, CostModel
+from repro.config import CheckpointConfig, ClusterConfig
 from repro.stream import ConstantSource, StageSpec, StreamJob
 
 from conftest import record

@@ -5,7 +5,6 @@ flush+compaction bursts; the solution desynchronizes them, keeping every
 window's p99.9 well below the baseline peaks.
 """
 
-import numpy as np
 
 from repro.experiments import fig18_wordcount_timeline
 

@@ -11,9 +11,13 @@ design) cannot remove.
 Run:  python examples/other_shadowsync_sources.py
 """
 
-from repro import MitigationPlan, build_traffic_job
-from repro.experiments.report import render_tails
-from repro.sim import DvfsThrottleInjector, GcPauseInjector
+from repro.api import (
+    DvfsThrottleInjector,
+    GcPauseInjector,
+    MitigationPlan,
+    build_traffic_job,
+    render_tails,
+)
 
 RUN, WARMUP = 200.0, 40.0
 

@@ -9,8 +9,12 @@ are plainly visible.
 Run:  python examples/quickstart.py
 """
 
-from repro import MitigationPlan, build_traffic_job
-from repro.experiments.report import render_series, render_tails
+from repro.api import (
+    MitigationPlan,
+    build_traffic_job,
+    render_series,
+    render_tails,
+)
 
 RUN_SECONDS = 160.0
 WARMUP = 40.0

@@ -17,7 +17,7 @@ Run:  python examples/traffic_jam_ranking.py
 
 import json
 
-from repro import LSMOptions, LSMStore, build_traffic_job
+from repro.api import LSMOptions, LSMStore, build_traffic_job
 from repro.stream.kafka import KafkaBroker
 from repro.workloads import TrafficModel
 

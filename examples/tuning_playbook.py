@@ -16,16 +16,16 @@ Run:  python examples/tuning_playbook.py
 
 import numpy as np
 
-from repro import (
+from repro.api import (
     MitigationPlan,
     ShadowSyncDetector,
     build_traffic_job,
     estimate_drain_time,
     recommend_compaction_threads,
     recommend_flush_threads,
+    render_tails,
 )
 from repro.core import concurrency_latency_curve
-from repro.experiments.report import render_tails
 
 WARMUP, RUN = 40.0, 240.0
 

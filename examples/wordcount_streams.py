@@ -9,12 +9,14 @@ baseline vs mitigated, reproducing Figure 17's comparison.
 Run:  python examples/wordcount_streams.py
 """
 
-from repro import MitigationPlan
-from repro.apps import build_wordcount_job
-from repro.experiments.report import render_tails
-from repro.lsm import LSMOptions, LSMStore
+from repro.api import (
+    LSMOptions,
+    LSMStore,
+    MitigationPlan,
+    build_wordcount_job,
+    render_tails,
+)
 from repro.stream.kafka import KafkaBroker
-from repro.stream.messages import Record
 from repro.workloads import SentenceGenerator, count_words
 
 PARTITIONS = 4

@@ -2,6 +2,14 @@
 
 from .kneedle import KneedleResult, kneedle
 from .longtail import LatencySpike, find_spikes, reduction_ratio, spike_period
+from .millibottleneck import (
+    MillibottleneckReport,
+    SpikeAttribution,
+    analyze_result,
+    analyze_summary,
+    analyze_trace,
+    detect,
+)
 from .overlap import (
     OverlapReport,
     alignment_score,
@@ -18,6 +26,12 @@ __all__ = [
     "find_spikes",
     "reduction_ratio",
     "spike_period",
+    "MillibottleneckReport",
+    "SpikeAttribution",
+    "analyze_result",
+    "analyze_summary",
+    "analyze_trace",
+    "detect",
     "OverlapReport",
     "alignment_score",
     "burst_alignment",

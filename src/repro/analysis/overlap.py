@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import AnalysisError
 from ..metrics.spans import SpanLog
+from ..serialize import register
 
 __all__ = [
     "scheduled_overlap_times",
@@ -71,6 +72,7 @@ def coincidence_period(period_a: float, period_b: float) -> Optional[float]:
     return period_b * frac[0] / math.gcd(frac[0], frac[1]) * 1.0
 
 
+@register
 class OverlapReport:
     """Quantified ShadowSync exposure of one run window."""
 
@@ -98,9 +100,9 @@ class OverlapReport:
             return 0.0
         return self.flush_compaction_overlap_s / self.compaction_busy_s
 
-    def as_dict(self) -> dict:
+    def to_dict(self) -> dict:
         return {
-            "window": self.window,
+            "window": list(self.window),
             "flush_compaction_overlap_s": self.flush_compaction_overlap_s,
             "flush_busy_s": self.flush_busy_s,
             "compaction_busy_s": self.compaction_busy_s,
@@ -108,6 +110,19 @@ class OverlapReport:
             "peak_compaction_concurrency": self.peak_compaction_concurrency,
             "overlap_fraction": self.overlap_fraction,
         }
+
+    #: Deprecated alias of :meth:`to_dict`.
+    as_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OverlapReport":
+        report = cls(tuple(data["window"]))
+        report.flush_compaction_overlap_s = data.get("flush_compaction_overlap_s", 0.0)
+        report.flush_busy_s = data.get("flush_busy_s", 0.0)
+        report.compaction_busy_s = data.get("compaction_busy_s", 0.0)
+        report.peak_flush_concurrency = data.get("peak_flush_concurrency", 0)
+        report.peak_compaction_concurrency = data.get("peak_compaction_concurrency", 0)
+        return report
 
 
 def overlap_report(

@@ -1,0 +1,121 @@
+"""The stable public facade of the reproduction.
+
+``repro.api`` is the one import surface scripts, notebooks and examples
+should use.  Everything here is re-exported from its implementation
+module and covered by the schema/round-trip tests; internal module
+paths (``repro.experiments.runner`` etc.) may reorganize between
+releases, this namespace will not.
+
+Quickstart::
+
+    from repro import api
+
+    result = api.run_traffic(settings=api.ExperimentSettings(
+        duration_s=104.0, warmup_s=32.0, trace=True))
+    print(result.tail_summary(start=32.0))
+    report = result.millibottleneck_report(start=32.0)
+    print(report.attributed_fraction, report.classification)
+    result.export_trace("run.trace.json", format="chrome")  # → Perfetto
+"""
+
+from __future__ import annotations
+
+from .analysis.millibottleneck import (
+    MillibottleneckReport,
+    SpikeAttribution,
+    analyze_result,
+    analyze_summary,
+    analyze_trace,
+)
+from .apps.traffic_job import build_traffic_job
+from .apps.wordcount_job import build_wordcount_job
+from .config import CheckpointConfig, ClusterConfig, CostModel
+from .core import (
+    MitigationPlan,
+    ShadowSyncDetector,
+    estimate_drain_time,
+    recommend_compaction_threads,
+    recommend_flush_threads,
+)
+from .experiments.parallel import RunSpec, run_grid, sweep
+from .experiments.runner import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    run_traffic,
+    run_wordcount,
+)
+from .experiments.report import render_series, render_table, render_tails
+from .experiments.summary import RunSummary, summarize_run
+from .lsm import LSMOptions, LSMStore
+from .serialize import from_dict, to_dict
+from .sim import DvfsThrottleInjector, GcPauseInjector, Simulator
+from .storage.backend import HDD, NVME_SSD, TMPFS, StorageProfile
+from .stream.engine import StreamJob, StreamJobResult
+from .stream.sources import ConstantSource
+from .stream.stage import StageSpec
+from .trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    # runs
+    "run_traffic",
+    "run_wordcount",
+    "sweep",
+    "run_grid",
+    "summarize_run",
+    "ExperimentSettings",
+    "DEFAULT_SETTINGS",
+    "RunSpec",
+    "RunSummary",
+    # jobs
+    "build_traffic_job",
+    "build_wordcount_job",
+    "StreamJob",
+    "StreamJobResult",
+    "StageSpec",
+    "ConstantSource",
+    "Simulator",
+    "MitigationPlan",
+    "CheckpointConfig",
+    "ClusterConfig",
+    "CostModel",
+    "StorageProfile",
+    "TMPFS",
+    "NVME_SSD",
+    "HDD",
+    "LSMOptions",
+    "LSMStore",
+    # diagnosis & tuning
+    "ShadowSyncDetector",
+    "estimate_drain_time",
+    "recommend_flush_threads",
+    "recommend_compaction_threads",
+    "DvfsThrottleInjector",
+    "GcPauseInjector",
+    # reporting
+    "render_tails",
+    "render_series",
+    "render_table",
+    # tracing
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "TRACE_SCHEMA_VERSION",
+    "read_jsonl",
+    # analysis
+    "MillibottleneckReport",
+    "SpikeAttribution",
+    "analyze_result",
+    "analyze_summary",
+    "analyze_trace",
+    # serialization
+    "to_dict",
+    "from_dict",
+]

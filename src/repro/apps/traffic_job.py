@@ -24,6 +24,7 @@ from ..core.mitigation import MitigationPlan
 from ..errors import ConfigurationError
 from ..storage.backend import StorageProfile, TMPFS
 from ..stream.engine import StreamJob
+from ..trace import Tracer
 from ..stream.sources import ConstantSource
 from ..stream.stage import StageSpec
 
@@ -76,6 +77,7 @@ def build_traffic_job(
     initial_l0: Union[str, Dict[str, int]] = "aligned",
     seed: int = 0,
     cost: Optional[CostModel] = None,
+    tracer: Optional[Tracer] = None,
 ) -> StreamJob:
     """Assemble the traffic-jam job with the paper's deployment shape."""
     if isinstance(initial_l0, str):
@@ -95,6 +97,7 @@ def build_traffic_job(
             interval_s=checkpoint_interval_s, first_at_s=checkpoint_interval_s
         ),
         mitigation=mitigation,
+        tracer=tracer,
         initial_l0=initial_l0,
         seed=seed,
     )

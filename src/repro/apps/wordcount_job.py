@@ -16,6 +16,7 @@ from ..config import CheckpointConfig, ClusterConfig, CostModel
 from ..core.mitigation import MitigationPlan
 from ..storage.backend import StorageProfile, TMPFS
 from ..stream.engine import StreamJob
+from ..trace import Tracer
 from ..stream.sources import ConstantSource
 from ..stream.stage import StageSpec
 
@@ -49,6 +50,7 @@ def build_wordcount_job(
     sentence_rate: float = 25000.0,
     seed: int = 0,
     cost: Optional[CostModel] = None,
+    tracer: Optional[Tracer] = None,
 ) -> StreamJob:
     """Assemble the single-node WordCount job.
 
@@ -68,6 +70,7 @@ def build_wordcount_job(
             interval_s=commit_interval_s, first_at_s=commit_interval_s
         ),
         mitigation=mitigation,
+        tracer=tracer,
         initial_l0={"count": 0},
         seed=seed,
     )

@@ -6,6 +6,9 @@ Usage::
     python -m repro run fig8 [--duration 200] [--seed 1]
     python -m repro run fig12 --jobs 8     # fan the sweep across cores
     python -m repro run table1
+    python -m repro run headline --trace   # record traces alongside
+    python -m repro trace fig8             # trace + millibottleneck report
+    python -m repro trace fig8 --chrome    # Perfetto-loadable trace file
     python -m repro compare                # baseline vs solution summary
     python -m repro cache info             # inspect the result cache
     python -m repro cache clear
@@ -33,6 +36,22 @@ from .report import render_series, render_sweep, render_table, render_tails
 from .runner import ExperimentSettings
 
 __all__ = ["EXPERIMENTS", "main", "build_parser"]
+
+#: ``repro trace`` exemplar run per experiment: the single traced run
+#: that best illustrates what the experiment measures (sweeps trace
+#: their baseline point).  Values are :class:`RunSpec` keyword overrides.
+EXEMPLARS: Dict[str, Dict] = {
+    "fig1": {"interval_s": 16.0, "initial_l0": "staggered"},
+    "fig3": {"interval_s": 16.0, "initial_l0": "staggered"},
+    "table1": {"interval_s": 16.0, "initial_l0": "staggered"},
+    "fig6": {"interval_s": 16.0, "initial_l0": "staggered"},
+    "fig7": {"interval_s": 16.0, "initial_l0": "staggered"},
+    "fig8": {"interval_s": 8.0, "initial_l0": "aligned"},
+    "fig17": {"kind": "wordcount"},
+    "fig18": {"kind": "wordcount"},
+    "fig19": {"storage": "nvme"},
+    "fig20": {"kind": "wordcount", "storage": "nvme"},
+}
 
 #: CLI name -> experiment function.
 EXPERIMENTS: Dict[str, Callable] = {
@@ -78,6 +97,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="bypass the on-disk result cache")
     run.add_argument("--json", action="store_true",
                      help="dump the raw experiment dict as JSON")
+    run.add_argument("--trace", action="store_true",
+                     help="record structured traces; they ride the cached "
+                          "summaries (export with 'repro trace')")
+
+    trace = sub.add_parser(
+        "trace",
+        help="record one traced exemplar run of an experiment, write the "
+             "trace and print its millibottleneck attribution",
+    )
+    trace.add_argument("experiment", nargs="?", default="fig8",
+                       choices=sorted(EXPERIMENTS))
+    trace.add_argument("--duration", type=float, default=104.0,
+                       help="simulated seconds (default 104)")
+    trace.add_argument("--warmup", type=float, default=32.0,
+                       help="seconds excluded from analysis (default 32)")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--out", default=None,
+                       help="trace file path "
+                            "(default <experiment>.trace.jsonl/.json)")
+    trace.add_argument("--chrome", action="store_true",
+                       help="write Chrome trace-event JSON (load in Perfetto "
+                            "or chrome://tracing) instead of JSONL")
+    trace.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
 
     compare = sub.add_parser(
         "compare", help="run traffic baseline vs solution and print tails"
@@ -120,10 +163,15 @@ def _summarize(name: str, out: dict) -> str:
     if "times" in out and "p999" in out:
         lines.append(render_series(out["times"], out["p999"],
                                    label="p99.9 latency [s]"))
-    if "baseline" in out and "solution" in out:
+    mitigated_key = next(
+        (k for k in ("solution", "mitigated") if k in out), None
+    )
+    if "baseline" in out and mitigated_key is not None:
+        baseline = out["baseline"]
+        mitigated = out[mitigated_key]
         lines.append(render_tails({
-            "baseline": out["baseline"]["tails"],
-            "solution": out["solution"]["tails"],
+            "baseline": baseline.get("tails", baseline),
+            mitigated_key: mitigated.get("tails", mitigated),
         }))
         lines.append(
             f"reduction: p99.9 -> {out['reduction_p999']:.0%}, "
@@ -137,6 +185,73 @@ def _summarize(name: str, out: dict) -> str:
         if out.get(key) is not None:
             lines.append(f"{key}: {out[key]}")
     return "\n".join(lines)
+
+
+def _render_millibottleneck(report) -> str:
+    """Terminal rendering of a millibottleneck attribution report."""
+    lines = [
+        f"millibottleneck report (window {report.window_s * 1000:.0f} ms, "
+        f"spike threshold {report.threshold_s:.2f} s)",
+        f"spikes: {report.spike_count}  attributed: {report.attributed_count} "
+        f"({report.attributed_fraction:.0%})  "
+        f"classification: {report.classification}"
+        + (f"  alignment: {report.alignment:.2f}"
+           if report.alignment is not None else ""),
+    ]
+    if report.saturation_windows:
+        lines.append(f"cpu saturation windows: {len(report.saturation_windows)}")
+    if report.spikes:
+        headers = ["peak t [s]", "p99.9 [s]", "flush", "compaction",
+                   "overlap [s]", "CP", "class"]
+        rows = [
+            [f"{s.peak_time:.1f}", f"{s.peak_s:.2f}", s.flush_spans,
+             s.compaction_spans, f"{s.overlap_s:.2f}", s.checkpoint_index,
+             s.classification]
+            for s in report.spikes
+        ]
+        lines.append(render_table(headers, rows))
+    return "\n".join(lines)
+
+
+def _trace_command(args) -> int:
+    """Run one traced exemplar run; write the trace, print attribution."""
+    from ..analysis.millibottleneck import analyze_summary
+    from ..trace import TraceEvent, Tracer
+
+    overrides = dict(EXEMPLARS.get(args.experiment, {}))
+    kind = overrides.pop("kind", "traffic")
+    settings = ExperimentSettings(
+        duration_s=args.duration, warmup_s=args.warmup, seed=args.seed,
+        trace=True,
+    )
+    spec = RunSpec(kind=kind, settings=settings,
+                   label=f"trace:{args.experiment}", **overrides)
+    with _cache_override(args.no_cache):
+        summary = run_grid([spec])[0]
+    if not summary.trace_events:
+        print("run produced no trace events", file=sys.stderr)
+        return 1
+
+    tracer = Tracer()
+    tracer.extend(TraceEvent.from_dict(e) for e in summary.trace_events)
+    # Give the exported file a latency track so the spike context is
+    # visible next to the spans in Perfetto.
+    for t, v in zip(summary.fine_times, summary.fine_p999):
+        tracer.counter("latency_p999", "latency", t, v, tid="latency")
+
+    out = args.out
+    if out is None:
+        out = f"{args.experiment}.trace." + ("json" if args.chrome else "jsonl")
+    if args.chrome:
+        tracer.write_chrome(out)
+    else:
+        tracer.write_jsonl(out)
+    print(f"{len(tracer)} events ({summary.kind} run, schema "
+          f"{summary.trace_schema}) -> {out}")
+
+    report = analyze_summary(summary)
+    print(_render_millibottleneck(report))
+    return 0
 
 
 class _cache_override:
@@ -200,8 +315,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"p99.9 reduced to {ratio:.0%} of baseline")
         return 0
 
+    if args.command == "trace":
+        return _trace_command(args)
+
     settings = ExperimentSettings(
-        duration_s=args.duration, warmup_s=args.warmup, seed=args.seed
+        duration_s=args.duration, warmup_s=args.warmup, seed=args.seed,
+        trace=args.trace,
     )
     experiment = EXPERIMENTS[args.experiment]
     kwargs = {"settings": settings}

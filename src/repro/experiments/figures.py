@@ -104,7 +104,7 @@ def table1_checkpoint_stats(
             break
     selected = after_warmup[start : start + 5]
     return {
-        "rows": [s.as_dict() for s in selected],
+        "rows": [s.to_dict() for s in selected],
         "stages": ["s0", "s1"],
     }
 

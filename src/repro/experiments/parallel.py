@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from .. import __version__
+from ..compat import keyword_only
 from ..core.mitigation import MitigationPlan
 from ..errors import ConfigurationError
 from ..storage.backend import profile_by_name
@@ -71,6 +72,7 @@ _PACKAGE_VERSION = __version__
 _KINDS = ("traffic", "wordcount")
 
 
+@keyword_only
 @dataclass(frozen=True)
 class RunSpec:
     """One (config, seed) run, fully described by plain data.

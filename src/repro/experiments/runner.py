@@ -12,13 +12,18 @@ from typing import Dict, List, Optional, Union
 
 from ..apps.traffic_job import build_traffic_job
 from ..apps.wordcount_job import build_wordcount_job
+from ..compat import keyword_only
 from ..core.mitigation import MitigationPlan
+from ..serialize import register
 from ..storage.backend import StorageProfile, TMPFS
 from ..stream.engine import StreamJobResult
+from ..trace import Tracer
 
 __all__ = ["ExperimentSettings", "run_traffic", "run_wordcount"]
 
 
+@register
+@keyword_only
 @dataclass(frozen=True)
 class ExperimentSettings:
     """Run length and measurement conventions shared by experiments."""
@@ -30,6 +35,9 @@ class ExperimentSettings:
     #: analysis; 500 ms for the long timelines to keep plots readable).
     fine_window_s: float = 0.05
     coarse_window_s: float = 0.5
+    #: Record a structured trace of the run (spans/instants/counters);
+    #: the events travel on the RunSummary through the executor cache.
+    trace: bool = False
 
     @property
     def measure_span(self):
@@ -44,9 +52,21 @@ class ExperimentSettings:
         base = self.seed if first is None else first
         return [self.with_seed(base + i) for i in range(count)]
 
-    def as_dict(self) -> dict:
+    def to_dict(self) -> dict:
         """Plain-data form (cache keys, logs)."""
         return asdict(self)
+
+    #: Deprecated alias of :meth:`to_dict`.
+    as_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSettings":
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def make_tracer(self) -> Optional[Tracer]:
+        """A fresh :class:`Tracer` when tracing is on, else ``None``."""
+        return Tracer() if self.trace else None
 
 
 DEFAULT_SETTINGS = ExperimentSettings()
@@ -58,6 +78,7 @@ def run_traffic(
     initial_l0: Union[str, Dict[str, int]] = "aligned",
     storage: StorageProfile = TMPFS,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    tracer: Optional[Tracer] = None,
 ) -> StreamJobResult:
     """Run the traffic-jam benchmark with standard settings."""
     job = build_traffic_job(
@@ -66,6 +87,7 @@ def run_traffic(
         storage=storage,
         initial_l0=initial_l0,
         seed=settings.seed,
+        tracer=tracer if tracer is not None else settings.make_tracer(),
     )
     return job.run(settings.duration_s)
 
@@ -75,6 +97,7 @@ def run_wordcount(
     commit_interval_s: float = 8.0,
     storage: StorageProfile = TMPFS,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    tracer: Optional[Tracer] = None,
 ) -> StreamJobResult:
     """Run the WordCount benchmark with standard settings."""
     job = build_wordcount_job(
@@ -82,5 +105,6 @@ def run_wordcount(
         mitigation=mitigation,
         storage=storage,
         seed=settings.seed,
+        tracer=tracer if tracer is not None else settings.make_tracer(),
     )
     return job.run(settings.duration_s)

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
+from ..serialize import register
+
 __all__ = ["RunSummary", "summarize_run"]
 
 #: dt of the concurrency timelines, matching the paper's 50 ms analysis
@@ -28,6 +30,7 @@ __all__ = ["RunSummary", "summarize_run"]
 CONCURRENCY_DT = 0.05
 
 
+@register
 @dataclass
 class RunSummary:
     """The serializable digest of one finished stream-job run."""
@@ -53,16 +56,22 @@ class RunSummary:
     compaction_concurrency: List[float] = field(default_factory=list)
     #: Checkpoint trigger times within the measured span.
     checkpoint_times: List[float] = field(default_factory=list)
-    #: Table 1 rows (:meth:`CheckpointStats.as_dict`), whole run.
+    #: Table 1 rows (:meth:`CheckpointStats.to_dict`), whole run.
     checkpoint_stats: List[dict] = field(default_factory=list)
     #: ``{checkpoint_index: {stage: compaction_count}}`` (§3.3 alignment).
     per_checkpoint_compactions: Dict[int, Dict[str, int]] = field(
         default_factory=dict
     )
-    #: :meth:`OverlapReport.as_dict` over the measured span.
+    #: :meth:`OverlapReport.to_dict` over the measured span.
     overlap: Dict = field(default_factory=dict)
     #: Run-level activity counters (flushes, compactions, stalls, ...).
     activities: Dict[str, float] = field(default_factory=dict)
+    #: Trace schema version of :attr:`trace_events` (0 = untraced run).
+    trace_schema: int = 0
+    #: :meth:`TraceEvent.to_dict` records when the run was traced; they
+    #: ride the summary through the executor cache so ``repro trace``
+    #: works on cached runs too.
+    trace_events: List[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # derived views
@@ -113,6 +122,7 @@ def summarize_run(result, settings, kind: str = "traffic",
     """
     from ..analysis.overlap import burst_alignment, overlap_report
     from ..metrics.percentiles import tail_summary, windowed_quantile
+    from ..trace import TRACE_SCHEMA_VERSION
 
     start, end = settings.warmup_s, settings.duration_s
     times, latency, weights = result.end_to_end_latency(start, end)
@@ -125,12 +135,16 @@ def summarize_run(result, settings, kind: str = "traffic",
     conc_t, flush_c = result.concurrency("flush", start, end, dt=CONCURRENCY_DT)
     _, comp_c = result.concurrency("compaction", start, end, dt=CONCURRENCY_DT)
     cps = [t for t in result.coordinator.checkpoint_times() if t >= start]
+    stage_names = [stage.name for stage in result.job.stages]
     alignment = (
-        burst_alignment(result.spans, ["s0", "s1"], cps) if cps else {}
+        burst_alignment(result.spans, stage_names, cps) if cps else {}
     )
-    report = overlap_report(result.spans, start, end).as_dict()
-    report["window"] = list(report["window"])
+    report = overlap_report(result.spans, start, end).to_dict()
     completed = result.coordinator.completed
+    tracer = result.tracer
+    trace_events = (
+        [event.to_dict() for event in tracer] if tracer.enabled else []
+    )
     return RunSummary(
         kind=kind,
         label=label,
@@ -148,7 +162,7 @@ def summarize_run(result, settings, kind: str = "traffic",
         flush_concurrency=flush_c.tolist(),
         compaction_concurrency=comp_c.tolist(),
         checkpoint_times=cps,
-        checkpoint_stats=[s.as_dict() for s in result.checkpoint_stats()],
+        checkpoint_stats=[s.to_dict() for s in result.checkpoint_stats()],
         per_checkpoint_compactions=alignment,
         overlap=report,
         activities={
@@ -161,4 +175,6 @@ def summarize_run(result, settings, kind: str = "traffic",
             "checkpoints_triggered": len(result.coordinator.records),
             "checkpoints_completed": len(completed),
         },
+        trace_schema=TRACE_SCHEMA_VERSION if trace_events else 0,
+        trace_events=trace_events,
     )

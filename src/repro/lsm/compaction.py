@@ -44,6 +44,17 @@ class CompactionJob:
     def is_bottommost(self) -> bool:
         return self.pick.target_level == self.store.levels.num_levels - 1
 
+    def trace_args(self) -> dict:
+        """Plain-data identity of this compaction for trace span args."""
+        return {
+            "compaction_id": self.compaction_id,
+            "source_level": self.pick.source_level,
+            "target_level": self.pick.target_level,
+            "input_bytes": self.input_bytes,
+            "files": self.input_files,
+            "created_at": self.created_at,
+        }
+
     def run(self, now: float = 0.0) -> SSTable:
         """Merge the inputs into one output table (data plane)."""
         if self.output is not None:

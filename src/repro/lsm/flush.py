@@ -49,6 +49,15 @@ class FlushJob:
     def input_entries(self) -> int:
         return self.memtable.entry_count
 
+    def trace_args(self) -> dict:
+        """Plain-data identity of this flush for trace span/instant args."""
+        return {
+            "flush_id": self.flush_id,
+            "reason": self.reason,
+            "input_bytes": self.input_bytes,
+            "created_at": self.created_at,
+        }
+
     def run(self, now: float = 0.0) -> SSTable:
         """Serialize the memtable into an L0 SSTable (data plane)."""
         if self.output is not None:

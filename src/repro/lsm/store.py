@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from ..errors import LSMError, StoreClosedError
+from ..trace import NULL_TRACER
 from .compaction import CompactionJob
 from .flush import FlushJob
 from .levels import LevelManager
@@ -76,6 +77,9 @@ class LSMStore:
         )
         #: memtable id -> WAL segment id, resolved at finish_flush.
         self._wal_segment_of: dict = {}
+        #: Installed by the engine (the simulator's root tracer); the
+        #: store emits memtable-freeze instants and L0-count counters.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # write path
@@ -191,7 +195,12 @@ class LSMStore:
         self.stats.flush_bytes += memtable.size_bytes
         if reason == "memtable-full":
             self.stats.memtable_full_flushes += 1
-        return FlushJob(self, memtable, reason=reason, created_at=now)
+        job = FlushJob(self, memtable, reason=reason, created_at=now)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "memtable-freeze", "flush", now, tid=self.name, **job.trace_args()
+            )
+        return job
 
     def finish_flush(self, job: FlushJob, now: float = 0.0) -> SSTable:
         """Run the flush's data plane and install its L0 output."""
@@ -207,6 +216,8 @@ class LSMStore:
             if segment is not None:
                 self.wal.drop_segment(segment)
         self.levels.add_l0(table)
+        if self.tracer.enabled:
+            self.tracer.counter("l0", "lsm", now, self.l0_file_count, tid=self.name)
         return table
 
     # ------------------------------------------------------------------
@@ -242,6 +253,8 @@ class LSMStore:
         self.levels.apply_compaction(job.pick, output)
         self.stats.compaction_count += 1
         self.stats.compaction_input_bytes += job.input_bytes
+        if self.tracer.enabled:
+            self.tracer.counter("l0", "lsm", now, self.l0_file_count, tid=self.name)
         return output
 
     def cancel_compaction(self, job: CompactionJob) -> None:

@@ -17,12 +17,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..serialize import register
 from .spans import ActivitySpan, SpanLog
 from .timeline import StepSeries
 
 __all__ = ["CheckpointStats", "MetricsCollector"]
 
 
+@register
 class CheckpointStats:
     """Statistics of one checkpoint period, one row-group of Table 1."""
 
@@ -45,7 +47,7 @@ class CheckpointStats:
         self.compaction_ms: Dict[str, float] = {}
         self.compaction_input_mb: float = 0.0
 
-    def as_dict(self) -> dict:
+    def to_dict(self) -> dict:
         return {
             "checkpoint": self.index,
             "time": self.time,
@@ -55,6 +57,19 @@ class CheckpointStats:
             "avg_compaction_ms": dict(self.compaction_ms),
             "compaction_input_mb": self.compaction_input_mb,
         }
+
+    #: Deprecated alias of :meth:`to_dict`.
+    as_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckpointStats":
+        stats = cls(data["checkpoint"], data["time"])
+        stats.flush_count = dict(data.get("flush_count", {}))
+        stats.flush_ms = dict(data.get("avg_flush_ms", {}))
+        stats.compaction_count = dict(data.get("compaction_count", {}))
+        stats.compaction_ms = dict(data.get("avg_compaction_ms", {}))
+        stats.compaction_input_mb = data.get("compaction_input_mb", 0.0)
+        return stats
 
 
 class MetricsCollector:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+from ..trace import Tracer, ensure_tracer
 from .events import Event, EventQueue, HIGH_PRIORITY, LOW_PRIORITY, NORMAL_PRIORITY
 from .rng import RngRegistry
 
@@ -30,6 +31,12 @@ class Simulator:
     seed:
         Master seed for the per-component RNG registry (see
         :class:`repro.sim.rng.RngRegistry`).
+    tracer:
+        Root :class:`~repro.trace.Tracer` shared by every component
+        built on this simulator (``None`` = the no-op tracer).  Event
+        dispatch itself is traced only when the tracer opts into the
+        ``"kernel"`` category — one instant per event is far too much
+        for routine traces.
 
     Examples
     --------
@@ -42,12 +49,14 @@ class Simulator:
     [1.0, 2.0]
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self._running = False
         self._events_fired = 0
         self.rng = RngRegistry(seed)
+        self.tracer = ensure_tracer(tracer)
+        self._trace_dispatch = self.tracer.enabled and self.tracer.wants("kernel")
 
     # ------------------------------------------------------------------
     # clock
@@ -125,6 +134,14 @@ class Simulator:
             )
         self._now = max(self._now, event.time)
         self._events_fired += 1
+        if self._trace_dispatch:
+            self.tracer.instant(
+                getattr(event.callback, "__qualname__", repr(event.callback)),
+                "kernel",
+                self._now,
+                tid="kernel",
+                priority=event.priority,
+            )
         event.callback(*event.args)
         return True
 

@@ -102,6 +102,9 @@ class SimThreadPool:
         #: Observers called with (job, "submitted" | "start" | "end").
         self.observers: List[Callable[[SimJob, str], None]] = []
         self.completed_jobs: List[SimJob] = []
+        #: Shared with the simulator; spans are emitted per job here so
+        #: traces show queue→run→done for every flush/compaction.
+        self.tracer = sim.tracer
 
     # ------------------------------------------------------------------
     # public API
@@ -109,6 +112,15 @@ class SimThreadPool:
 
     def submit(self, job: SimJob) -> SimJob:
         job.submit_time = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"queue:{job.name}",
+                "pool",
+                self.sim.now,
+                tid=self.name,
+                kind=job.kind,
+                backlog=self.backlog,
+            )
         self._notify(job, "submitted")
         self._pending.append(job)
         self._maybe_start()
@@ -166,6 +178,26 @@ class SimThreadPool:
         job.end_time = self.sim.now
         self._active.remove(job)
         self.completed_jobs.append(job)
+        if self.tracer.enabled:
+            queue_delay = job.queue_delay or 0.0
+            if queue_delay > 0:
+                self.tracer.complete(
+                    f"queued:{job.name}",
+                    "pool",
+                    job.submit_time,
+                    queue_delay,
+                    tid=self.name,
+                    kind=job.kind,
+                )
+            self.tracer.complete(
+                job.name,
+                job.kind,
+                job.start_time,
+                job.end_time - job.start_time,
+                tid=self.name,
+                queue_delay=queue_delay,
+                **job.metadata,
+            )
         self._notify(job, "end")
         if job.on_complete is not None:
             job.on_complete(job)

@@ -88,12 +88,29 @@ class CheckpointCoordinator:
     def trigger(self) -> Optional[CheckpointRecord]:
         """Fire one checkpoint now; returns its record (or ``None`` when
         an overlapping checkpoint was rejected by configuration)."""
+        tracer = self.sim.tracer
         if not self.config.allow_overlap and self._in_flight > 0:
             self.skipped_overlapping += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "checkpoint-skipped",
+                    "checkpoint",
+                    self.sim.now,
+                    tid="coordinator",
+                    in_flight=self._in_flight,
+                )
             return None
         self._next_id += 1
         record = CheckpointRecord(self._next_id, self.sim.now)
         self.records.append(record)
+        if tracer.enabled:
+            tracer.instant(
+                "checkpoint-trigger",
+                "checkpoint",
+                self.sim.now,
+                tid="coordinator",
+                checkpoint_id=record.checkpoint_id,
+            )
         if self.collector is not None:
             self.collector.note_checkpoint(self.sim.now)
         for callback in self.on_trigger:
@@ -107,6 +124,16 @@ class CheckpointCoordinator:
             if nbytes > 0:
                 record.flushes += 1
             pending[0] -= 1
+            if tracer.enabled:
+                tracer.instant(
+                    "checkpoint-ack",
+                    "checkpoint",
+                    self.sim.now,
+                    tid="coordinator",
+                    checkpoint_id=record.checkpoint_id,
+                    bytes=nbytes,
+                    pending=pending[0],
+                )
             if pending[0] == 0:
                 self._complete(record)
 
@@ -127,6 +154,18 @@ class CheckpointCoordinator:
     def _complete(self, record: CheckpointRecord) -> None:
         record.completed_at = self.sim.now
         self._in_flight -= 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.complete(
+                f"checkpoint-{record.checkpoint_id}",
+                "checkpoint",
+                record.triggered_at,
+                record.duration or 0.0,
+                tid="coordinator",
+                checkpoint_id=record.checkpoint_id,
+                bytes=record.bytes,
+                flushes=record.flushes,
+            )
         if self.hdfs is not None:
             self.hdfs.backup(record.checkpoint_id, record.bytes)
 

@@ -39,6 +39,7 @@ from ..sim.fluid import FluidFlow
 from ..sim.kernel import Simulator
 from ..sim.process import spawn
 from ..storage.hdfs import HdfsBackup
+from ..trace import Tracer
 from .checkpoint import CheckpointCoordinator
 from .sources import ConstantSource
 from .stage import Stage, StageInstance, StageSpec
@@ -67,6 +68,7 @@ class StreamJob:
         accounting_dt: float = 1.0,
         sample_real_state: bool = True,
         disturbances: Optional[list] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not stages:
             raise ConfigurationError("a job needs at least one stage")
@@ -74,7 +76,7 @@ class StreamJob:
         if len(set(names)) != len(names):
             raise ConfigurationError("stage names must be unique")
 
-        self.sim = Simulator(seed)
+        self.sim = Simulator(seed, tracer=tracer)
         self.cluster = cluster or ClusterConfig()
         self.cost = cost or CostModel()
         self.checkpoint_config = checkpoint or CheckpointConfig()
@@ -129,6 +131,8 @@ class StreamJob:
                         * (spec.state_entry_bytes + options.entry_overhead_bytes)
                     )
                 instance = StageInstance(spec, index, node, options)
+                if instance.store is not None:
+                    instance.store.tracer = self.sim.tracer
                 stage.add_instance(instance)
                 node.host(instance)
             self.stages.append(stage)
@@ -453,6 +457,57 @@ class StreamJobResult:
 
     def compaction_spans(self, **filters):
         return self.spans.spans(kind="compaction", **filters)
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The run's tracer (the no-op tracer on untraced runs)."""
+        return self.job.sim.tracer
+
+    def export_trace(
+        self,
+        path,
+        format: str = "jsonl",
+        cpu_dt: float = 0.05,
+        latency_window: float = 0.05,
+    ) -> None:
+        """Write the run's trace to *path*.
+
+        ``format`` is ``"jsonl"`` (the stable interchange schema) or
+        ``"chrome"`` (Chrome trace-event JSON, loadable in Perfetto).
+        On top of the live events the export appends derived counter
+        tracks — per-``cpu_dt`` mean CPU demand per node and the
+        windowed p99.9 latency timeline — so a trace viewer shows the
+        paper's full causal chain on one screen.
+        """
+        from ..trace import Tracer as _Tracer
+
+        export = _Tracer()
+        export.extend(self.tracer.events)
+        for node in self.collector.node_names():
+            times, values = self.cpu_series(node).on_grid(0.0, self.duration, cpu_dt)
+            for t, v in zip(times.tolist(), values.tolist()):
+                export.counter("cpu", "cpu", t, v, tid=node)
+        times, p999 = self.latency_timeline(window=latency_window)
+        for t, v in zip(times.tolist(), p999.tolist()):
+            export.counter("latency_p999", "latency", t, v, tid="latency")
+        if format == "chrome":
+            export.write_chrome(path)
+        elif format == "jsonl":
+            export.write_jsonl(path)
+        else:
+            raise ValueError(f"unknown trace format {format!r}")
+
+    def millibottleneck_report(self, start: float = 0.0,
+                               end: Optional[float] = None, **kwargs):
+        """Run the §3 millibottleneck detector over this run's trace
+        and measurements (see :mod:`repro.analysis.millibottleneck`)."""
+        from ..analysis.millibottleneck import analyze_result
+
+        return analyze_result(self, start=start, end=end, **kwargs)
 
     def summary(self, start: float = 0.0, end: Optional[float] = None) -> dict:
         """A JSON-serializable digest of the run (tails, activity

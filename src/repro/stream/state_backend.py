@@ -106,6 +106,16 @@ class LSMStateBackend:
         instance.flush_in_flight += 1
         stage.update_blocked(node.name)
         self.flush_jobs_started += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "flush-trigger",
+                "flush",
+                self.sim.now,
+                tid=instance.name,
+                l0_files=store.l0_file_count,
+                **flush.trace_args(),
+            )
 
         nbytes = flush.input_bytes
         if not self.incremental_checkpoints and reason == "checkpoint":
@@ -182,6 +192,17 @@ class LSMStateBackend:
 
     def _after_flush(self, instance: StageInstance) -> None:
         delay = self._delay_policy.current_delay()
+        tracer = self.sim.tracer
+        if tracer.enabled and instance.store is not None:
+            tracer.instant(
+                "compaction-check",
+                "compaction",
+                self.sim.now,
+                tid=instance.name,
+                l0_files=instance.store.l0_file_count,
+                trigger=instance.store.options.effective_l0_trigger(),
+                delay_s=delay,
+            )
         if delay > 0:
             self.sim.schedule_after(delay, self.schedule_due_compactions, instance)
         else:
@@ -211,6 +232,16 @@ class LSMStateBackend:
         node = instance.node
         store = instance.store
         self.compaction_jobs_started += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "compaction-trigger",
+                "compaction",
+                self.sim.now,
+                tid=instance.name,
+                l0_files=store.l0_file_count,
+                **compaction.trace_args(),
+            )
         input_bytes = compaction.input_bytes
         cpu_work = self.cost.compaction_cpu_work(input_bytes)
         cpu_work += (

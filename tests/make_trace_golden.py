@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Regenerate tests/data/trace_golden.jsonl after a deliberate schema change.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tests/make_trace_golden.py
+"""
+
+from pathlib import Path
+
+from test_trace import traced_pool_run
+
+if __name__ == "__main__":
+    out = Path(__file__).parent / "data" / "trace_golden.jsonl"
+    out.parent.mkdir(exist_ok=True)
+    traced_pool_run().write_jsonl(out)
+    print(f"wrote {out}")

@@ -1,0 +1,184 @@
+"""Tests for the millibottleneck detector (repro.analysis.millibottleneck)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.millibottleneck import (
+    MillibottleneckReport,
+    SpikeAttribution,
+    analyze_result,
+    analyze_summary,
+    analyze_trace,
+    default_threshold,
+    detect,
+)
+from repro.metrics.spans import ActivitySpan, SpanLog
+from repro.metrics.timeline import StepSeries
+
+
+def synthetic_timeline(spike_times, duration=100.0, dt=0.05, base=0.3, peak=2.0):
+    """A flat p99.9 timeline with 1-second excursions at *spike_times*."""
+    times = np.arange(0.0, duration, dt)
+    values = np.full(len(times), base)
+    for t0 in spike_times:
+        values[(times >= t0) & (times < t0 + 1.0)] = peak
+    return times, values
+
+
+def overlap_spans(burst_times, stages=("s0",)):
+    """Flush + compaction spans overlapping around each burst time."""
+    log = SpanLog()
+    for t0 in burst_times:
+        for stage in stages:
+            log.add(ActivitySpan("flush", f"f@{t0}", stage, 0, "node0",
+                                 t0 - 0.4, t0 + 0.1, 1000))
+            log.add(ActivitySpan("compaction", f"c@{t0}", stage, 0, "node0",
+                                 t0 - 0.2, t0 + 0.6, 5000))
+    return log
+
+
+# ----------------------------------------------------------------------
+# core detector on synthetic input
+# ----------------------------------------------------------------------
+
+
+def test_detector_recall_on_injected_overlaps():
+    """Every injected spike backed by an overlap must be attributed."""
+    spikes_at = [10.0, 30.0, 50.0, 70.0, 90.0]
+    times, values = synthetic_timeline(spikes_at)
+    report = detect(times, values, spans=overlap_spans(spikes_at))
+    assert report.spike_count == len(spikes_at)
+    assert report.attributed_fraction >= 0.9
+    for spike, expected in zip(report.spikes, spikes_at):
+        assert spike.peak_time == pytest.approx(expected, abs=1.0)
+        assert spike.flush_spans > 0 and spike.compaction_spans > 0
+        assert spike.overlap_s > 0
+
+
+def test_spike_without_background_work_is_unattributed():
+    times, values = synthetic_timeline([20.0, 60.0])
+    report = detect(times, values, spans=overlap_spans([20.0]))
+    attributed = {round(s.peak_time) for s in report.spikes if s.attributed}
+    assert 20 in attributed
+    assert 60 not in attributed
+    assert report.attributed_count == 1
+
+
+def test_cpu_gate_blocks_unsaturated_windows():
+    spikes_at = [20.0]
+    times, values = synthetic_timeline(spikes_at, duration=40.0)
+    spans = overlap_spans(spikes_at)
+    idle = StepSeries([(0.0, 1.0)])  # 1 of 16 cores busy: never saturated
+    report = detect(times, values, spans=spans, cpu=idle, capacity=16.0)
+    assert report.attributed_count == 0
+    hot = StepSeries([(0.0, 1.0), (19.5, 16.0), (21.0, 1.0)])
+    report = detect(times, values, spans=spans, cpu=hot, capacity=16.0)
+    assert report.attributed_count == 1
+    assert report.spikes[0].cpu_saturated_fraction > 0
+    assert report.saturation_windows  # the hot interval is flagged
+
+
+def test_detect_from_concurrency_arrays():
+    spikes_at = [25.0]
+    times, values = synthetic_timeline(spikes_at, duration=50.0)
+    grid = np.arange(0.0, 50.0, 0.05)
+    flush = ((grid >= 24.6) & (grid < 25.1)).astype(float)
+    compaction = ((grid >= 24.8) & (grid < 25.6)).astype(float) * 2
+    report = detect(
+        times, values,
+        concurrency_times=grid,
+        flush_concurrency=flush,
+        compaction_concurrency=compaction,
+    )
+    assert report.attributed_count == 1
+    spike = report.spikes[0]
+    assert spike.flush_spans == 1 and spike.compaction_spans == 2
+    assert spike.overlap_s == pytest.approx(0.3, abs=0.1)
+
+
+def test_scheduled_vs_statistical_classification():
+    spikes_at = [10.0, 42.0]
+    times, values = synthetic_timeline(spikes_at, duration=60.0)
+    checkpoints = [8.0, 16.0, 24.0, 32.0, 40.0, 48.0]
+    # one stage bursting alone -> scheduled
+    single = detect(times, values, spans=overlap_spans(spikes_at, ("s0",)),
+                    checkpoint_times=checkpoints,
+                    per_checkpoint={0: {"s0": 2, "s1": 0}, 4: {"s0": 2, "s1": 0},
+                                    2: {"s0": 0, "s1": 2}})
+    assert single.classification == "scheduled"
+    # both stages bursting together -> statistical
+    both = detect(times, values, spans=overlap_spans(spikes_at, ("s0", "s1")),
+                  checkpoint_times=checkpoints,
+                  per_checkpoint={0: {"s0": 2, "s1": 2}, 4: {"s0": 2, "s1": 2}})
+    assert both.classification == "statistical"
+    assert both.alignment == pytest.approx(1.0)
+    assert all(s.checkpoint_index in (0, 4) for s in both.spikes)
+
+
+def test_default_threshold_rule():
+    assert default_threshold([]) == 0.8
+    assert default_threshold([0.1] * 10) == 0.8  # floor dominates
+    assert default_threshold([1.0] * 10) == pytest.approx(2.5)
+
+
+def test_report_dict_round_trip():
+    times, values = synthetic_timeline([10.0], duration=20.0)
+    report = detect(times, values, spans=overlap_spans([10.0]))
+    revived = MillibottleneckReport.from_dict(report.to_dict())
+    assert revived.to_dict() == report.to_dict()
+    assert isinstance(revived.spikes[0], SpikeAttribution)
+    assert isinstance(revived.spikes[0].window, tuple)
+
+
+# ----------------------------------------------------------------------
+# acceptance: the paper's every-4th-checkpoint cadence
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig8_result():
+    from repro.api import ExperimentSettings, run_traffic
+
+    settings = ExperimentSettings(duration_s=104.0, warmup_s=32.0, trace=True)
+    return run_traffic(settings=settings)
+
+
+def test_attributes_every_4th_checkpoint_spikes(fig8_result):
+    """≥90% of the aligned baseline's p99.9 spikes must be attributed
+    to flush+compaction overlap windows (the ISSUE acceptance bar)."""
+    report = analyze_result(fig8_result, start=32.0)
+    assert report.spike_count >= 2
+    assert report.attributed_fraction >= 0.9
+    # spikes land on the every-4th-checkpoint cadence (32 s period)
+    gaps = np.diff([s.peak_time for s in report.spikes])
+    assert np.allclose(gaps, 32.0, atol=4.0)
+    for spike in report.spikes:
+        assert spike.checkpoint_index % 4 == 0
+        assert spike.cpu_saturated_fraction > 0
+    assert report.saturation_windows
+
+
+def test_summary_and_trace_paths_agree_with_live(fig8_result, tmp_path):
+    from repro.api import ExperimentSettings, read_jsonl, summarize_run
+
+    settings = ExperimentSettings(duration_s=104.0, warmup_s=32.0, trace=True)
+    live = analyze_result(fig8_result, start=32.0)
+
+    summary = summarize_run(fig8_result, settings)
+    from_summary = analyze_summary(summary)
+    assert from_summary.spike_count == live.spike_count
+    assert from_summary.attributed_fraction >= 0.9
+
+    path = tmp_path / "fig8.jsonl"
+    fig8_result.export_trace(path)
+    from_trace = analyze_trace(read_jsonl(path), capacity=16)
+    # the trace path sees the full run (no warmup cut) and derives its
+    # latency track from the exported counters, so compare attribution only
+    assert from_trace.attributed_fraction >= 0.9
+
+
+def test_trace_path_requires_latency_track():
+    from repro.errors import AnalysisError
+
+    with pytest.raises(AnalysisError):
+        analyze_trace([])

@@ -99,3 +99,35 @@ def test_unknown_experiment_rejected(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_trace_command_writes_trace_and_report(capsys, tmp_path):
+    out_path = tmp_path / "fig8.trace.jsonl"
+    code = main(["trace", "fig8", "--duration", "70", "--warmup", "30",
+                 "--out", str(out_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "millibottleneck report" in out
+    assert "attributed" in out
+    assert out_path.exists()
+    from repro.trace import read_jsonl
+
+    events = read_jsonl(out_path)
+    assert any(e.ph == "X" and e.cat == "flush" for e in events)
+    assert any(e.cat == "latency" for e in events)
+
+
+def test_trace_command_chrome_format(capsys, tmp_path):
+    out_path = tmp_path / "fig8.trace.json"
+    code = main(["trace", "fig8", "--duration", "70", "--warmup", "30",
+                 "--chrome", "--out", str(out_path)])
+    assert code == 0
+    doc = json.loads(out_path.read_text())
+    assert "traceEvents" in doc and doc["traceEvents"]
+
+
+def test_run_with_trace_flag(capsys):
+    code = main(["run", "fig8", "--duration", "70", "--warmup", "30",
+                 "--trace"])
+    assert code == 0
+    assert "== fig8 ==" in capsys.readouterr().out

@@ -1,6 +1,5 @@
 """Unit tests for the report renderers and experiment runner plumbing."""
 
-import pytest
 
 from repro.experiments import (
     ExperimentSettings,

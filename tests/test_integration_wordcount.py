@@ -1,7 +1,5 @@
 """Integration tests: the WordCount case study (§5.2)."""
 
-import numpy as np
-import pytest
 
 from repro.analysis import find_spikes
 

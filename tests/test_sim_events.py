@@ -1,9 +1,7 @@
 """Unit tests for the event queue primitives."""
 
-import pytest
 
 from repro.sim.events import (
-    Event,
     EventQueue,
     HIGH_PRIORITY,
     LOW_PRIORITY,

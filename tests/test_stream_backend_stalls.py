@@ -5,7 +5,6 @@ import pytest
 from repro.config import CheckpointConfig, ClusterConfig, CostModel
 from repro.core import MitigationPlan
 from repro.errors import SimulationError
-from repro.lsm import LSMOptions
 from repro.stream import ConstantSource, StageSpec, StreamJob
 
 

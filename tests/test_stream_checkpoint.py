@@ -1,6 +1,5 @@
 """Unit tests for the checkpoint coordinator and state backend."""
 
-import pytest
 
 from repro.config import CheckpointConfig, ClusterConfig, CostModel
 from repro.core import MitigationPlan

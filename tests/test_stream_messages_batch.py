@@ -38,8 +38,6 @@ def test_pipeline_outage_is_visible_end_to_end():
     )
     result = job.run(30.0)
     times, latency, _w = result.end_to_end_latency(start=2.0, end=30.0)
-    import numpy as np
-
     before = latency[(times > 5.0) & (times < 9.5)]
     at_pause = latency[(times > 9.6) & (times < 10.6)]
     after = latency[(times > 20.0)]
