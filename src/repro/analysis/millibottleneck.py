@@ -73,6 +73,9 @@ class SpikeAttribution:
     attributed: bool = False
     #: "scheduled" | "statistical" | "unattributed"
     classification: str = "unattributed"
+    #: Injected-fault windows (``kind@node``) overlapping this spike —
+    #: distinguishes ShadowSync spikes from fault-induced ones.
+    faults: List[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -87,12 +90,14 @@ class SpikeAttribution:
             "stages": list(self.stages),
             "attributed": self.attributed,
             "classification": self.classification,
+            "faults": list(self.faults),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SpikeAttribution":
         data = dict(data)
         data["window"] = tuple(data["window"])
+        data.setdefault("faults", [])
         return cls(**data)
 
 
@@ -181,6 +186,7 @@ def detect(
     capacity: Optional[float] = None,
     checkpoint_times: Sequence[float] = (),
     per_checkpoint: Optional[Dict[int, Dict[str, int]]] = None,
+    fault_windows: Sequence[Tuple[str, float, float]] = (),
     threshold: Optional[float] = None,
     pad_s: float = 1.0,
     saturation: float = 0.95,
@@ -262,6 +268,10 @@ def detect(
                 if count > 0
             )
 
+        fault_labels = sorted(
+            {name for name, fs, fe in fault_windows if fs <= w1 and fe >= w0}
+        )
+
         attributed = (
             n_flush > 0
             and n_comp > 0
@@ -288,6 +298,7 @@ def detect(
                 stages=stages,
                 attributed=attributed,
                 classification=classification,
+                faults=fault_labels,
             )
         )
 
@@ -329,6 +340,9 @@ def analyze_result(
     )
     kwargs.setdefault("cpu", result.cpu_series(None))
     kwargs.setdefault("capacity", result.job.cluster.cores_per_node)
+    injector = getattr(result.job, "fault_injector", None)
+    if injector is not None:
+        kwargs.setdefault("fault_windows", list(injector.windows))
     return detect(
         times,
         p999,
@@ -346,6 +360,12 @@ def analyze_summary(summary, **kwargs) -> MillibottleneckReport:
     Summaries carry no CPU series, so attribution relies on span
     concurrency alone (``cpu_saturated_fraction`` stays ``None``).
     """
+    fault_windows = [
+        (f"{e['kind']}@{e['node']}", e["start"], e["end"])
+        for e in getattr(summary, "fault_events", [])
+        if e.get("end") is not None
+    ]
+    kwargs.setdefault("fault_windows", fault_windows)
     return detect(
         summary.fine_times,
         summary.fine_p999,
@@ -429,6 +449,16 @@ def analyze_trace(
     )
     cpu_t, cpu_v = _counter_track(events, "cpu", mean_over_tids=True)
     cpu = StepSeries(zip(cpu_t, cpu_v)) if len(cpu_t) and capacity else None
+    fault_windows = [
+        (
+            f"{e.args.get('kind', 'fault')}@{e.tid}",
+            e.ts,
+            e.ts + float(e.args.get("duration_s", 0.0) or 0.0),
+        )
+        for e in events
+        if e.ph == "i" and e.cat == "fault" and e.name == "fault-inject"
+    ]
+    kwargs.setdefault("fault_windows", fault_windows)
     return detect(
         lat_t,
         lat_v,

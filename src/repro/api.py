@@ -46,6 +46,17 @@ from .experiments.runner import (
 )
 from .experiments.report import render_series, render_table, render_tails
 from .experiments.summary import RunSummary, summarize_run
+from .faults import (
+    CheckpointedWordCount,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InvariantChecker,
+    InvariantViolation,
+    inject_faults,
+    load_fault_plan,
+    preset_plan,
+)
 from .lsm import LSMOptions, LSMStore
 from .serialize import from_dict, to_dict
 from .sim import DvfsThrottleInjector, GcPauseInjector, Simulator
@@ -98,6 +109,16 @@ __all__ = [
     "recommend_compaction_threads",
     "DvfsThrottleInjector",
     "GcPauseInjector",
+    # fault injection & recovery
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "InvariantChecker",
+    "InvariantViolation",
+    "CheckpointedWordCount",
+    "inject_faults",
+    "load_fault_plan",
+    "preset_plan",
     # reporting
     "render_tails",
     "render_series",

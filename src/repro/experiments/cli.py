@@ -100,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", action="store_true",
                      help="record structured traces; they ride the cached "
                           "summaries (export with 'repro trace')")
+    run.add_argument("--faults", default=None, metavar="PLAN",
+                     help="inject a fault plan into the experiment's exemplar "
+                          "run: a preset name (crash, flush-stall, "
+                          "compaction-stall, slow-disk, checkpoint-timeout, "
+                          "backpressure, chaos), a JSON file path, or inline "
+                          "JSON")
 
     trace = sub.add_parser(
         "trace",
@@ -254,6 +260,58 @@ def _trace_command(args) -> int:
     return 0
 
 
+def _faults_command(args) -> int:
+    """Run the experiment's exemplar under a fault plan; report recovery."""
+    from ..errors import ConfigurationError
+    from ..faults import load_fault_plan
+
+    try:
+        plan = load_fault_plan(args.faults)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    overrides = dict(EXEMPLARS.get(args.experiment, {}))
+    kind = overrides.pop("kind", "traffic")
+    settings = ExperimentSettings(
+        duration_s=args.duration, warmup_s=args.warmup, seed=args.seed,
+        trace=args.trace,
+    )
+    spec = RunSpec(kind=kind, settings=settings, faults=plan,
+                   label=f"faults:{args.experiment}", **overrides)
+    with _cache_override(args.no_cache):
+        summary = run_grid([spec], jobs=args.jobs)[0]
+
+    if args.json:
+        json.dump(summary.to_dict(), sys.stdout, indent=2, default=str)
+        print()
+        return 0
+
+    print(f"== {args.experiment} under fault plan {plan.name!r} ==")
+    print(render_tails({summary.label: summary.tails}))
+    if summary.fault_events:
+        headers = ["fault", "node", "start [s]", "end [s]", "factor"]
+        rows = [
+            [e["kind"], e["node"], f"{e['start']:.1f}",
+             "-" if e.get("end") is None else f"{e['end']:.1f}",
+             f"{e['factor']:.2f}"]
+            for e in summary.fault_events
+        ]
+        print(render_table(headers, rows))
+    restored = sum(
+        len(e.get("restores", ())) for e in summary.fault_events
+    )
+    if restored:
+        print(f"instances restored from checkpoint: {restored}")
+    violations = summary.invariant_violations
+    if violations:
+        print(f"INVARIANT VIOLATIONS: {len(violations)}")
+        for v in violations[:10]:
+            print(f"  [{v['time']:.1f}s] {v['invariant']}: {v['message']}")
+        return 1
+    print("invariant violations: 0")
+    return 0
+
+
 class _cache_override:
     """Temporarily force ``REPRO_CACHE=off`` for ``--no-cache`` runs."""
 
@@ -317,6 +375,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "trace":
         return _trace_command(args)
+
+    if args.command == "run" and getattr(args, "faults", None):
+        return _faults_command(args)
 
     settings = ExperimentSettings(
         duration_s=args.duration, warmup_s=args.warmup, seed=args.seed,

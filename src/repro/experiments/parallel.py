@@ -39,6 +39,7 @@ from .. import __version__
 from ..compat import keyword_only
 from ..core.mitigation import MitigationPlan
 from ..errors import ConfigurationError
+from ..faults.plan import FaultPlan
 from ..storage.backend import profile_by_name
 from .runner import (
     DEFAULT_SETTINGS,
@@ -92,6 +93,8 @@ class RunSpec:
     #: Storage profile name ("tmpfs" / "nvme" / "hdd").
     storage: str = "tmpfs"
     label: str = ""
+    #: Fault plan injected into the run (``None`` = fault-free).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -99,6 +102,8 @@ class RunSpec:
                 f"unknown run kind {self.kind!r}; expected one of {_KINDS}"
             )
         profile_by_name(self.storage)  # raises on unknown profiles
+        if isinstance(self.faults, dict):
+            object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
 
     def with_seed(self, seed: int) -> "RunSpec":
         """A copy of this spec running under a different seed."""
@@ -113,6 +118,7 @@ class RunSpec:
             "interval_s": self.interval_s,
             "initial_l0": self.initial_l0,
             "storage": self.storage,
+            "faults": None if self.faults is None else self.faults.to_dict(),
         }
 
 
@@ -129,6 +135,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             initial_l0=spec.initial_l0,
             storage=profile_by_name(spec.storage),
             settings=spec.settings,
+            faults=spec.faults,
         )
     else:
         result = run_wordcount(
@@ -136,6 +143,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             commit_interval_s=spec.interval_s,
             storage=profile_by_name(spec.storage),
             settings=spec.settings,
+            faults=spec.faults,
         )
     return summarize_run(result, spec.settings, kind=spec.kind, label=spec.label)
 

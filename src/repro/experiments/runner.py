@@ -79,6 +79,7 @@ def run_traffic(
     storage: StorageProfile = TMPFS,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     tracer: Optional[Tracer] = None,
+    faults=None,
 ) -> StreamJobResult:
     """Run the traffic-jam benchmark with standard settings."""
     job = build_traffic_job(
@@ -89,6 +90,10 @@ def run_traffic(
         seed=settings.seed,
         tracer=tracer if tracer is not None else settings.make_tracer(),
     )
+    if faults is not None:
+        from ..faults import inject_faults
+
+        inject_faults(job, faults)
     return job.run(settings.duration_s)
 
 
@@ -98,6 +103,7 @@ def run_wordcount(
     storage: StorageProfile = TMPFS,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     tracer: Optional[Tracer] = None,
+    faults=None,
 ) -> StreamJobResult:
     """Run the WordCount benchmark with standard settings."""
     job = build_wordcount_job(
@@ -107,4 +113,8 @@ def run_wordcount(
         seed=settings.seed,
         tracer=tracer if tracer is not None else settings.make_tracer(),
     )
+    if faults is not None:
+        from ..faults import inject_faults
+
+        inject_faults(job, faults)
     return job.run(settings.duration_s)

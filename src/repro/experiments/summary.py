@@ -72,6 +72,12 @@ class RunSummary:
     #: ride the summary through the executor cache so ``repro trace``
     #: works on cached runs too.
     trace_events: List[dict] = field(default_factory=list)
+    #: :meth:`FaultPlan.to_dict` of the injected plan (``None`` = clean).
+    fault_plan: dict = field(default_factory=dict)
+    #: One record per executed fault (kind, node, start/end, recovery).
+    fault_events: List[dict] = field(default_factory=list)
+    #: :meth:`InvariantViolation.to_dict` records caught during the run.
+    invariant_violations: List[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # derived views
@@ -145,6 +151,9 @@ def summarize_run(result, settings, kind: str = "traffic",
     trace_events = (
         [event.to_dict() for event in tracer] if tracer.enabled else []
     )
+    plan = getattr(result.job, "fault_plan", None)
+    injector = getattr(result.job, "fault_injector", None)
+    checker = getattr(result.job, "invariant_checker", None)
     return RunSummary(
         kind=kind,
         label=label,
@@ -177,4 +186,7 @@ def summarize_run(result, settings, kind: str = "traffic",
         },
         trace_schema=TRACE_SCHEMA_VERSION if trace_events else 0,
         trace_events=trace_events,
+        fault_plan={} if plan is None else plan.to_dict(),
+        fault_events=[] if injector is None else [dict(e) for e in injector.events],
+        invariant_violations=[] if checker is None else checker.to_dicts(),
     )

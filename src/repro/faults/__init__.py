@@ -1,0 +1,94 @@
+"""Deterministic fault injection with checkpoint recovery.
+
+The subsystem has four parts:
+
+* :mod:`repro.faults.plan` — declarative, serializable
+  :class:`FaultPlan`/:class:`FaultSpec` descriptions (plus seeded random
+  plans and shrinking for property tests);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which schedules
+  a plan onto a built job as ordinary kernel events;
+* :mod:`repro.faults.invariants` — :class:`InvariantChecker`, sampling
+  exactly-once accounting, watermark monotonicity, checkpoint-barrier
+  and LSM-structure invariants while faults fire;
+* :mod:`repro.faults.pipeline` — :class:`CheckpointedWordCount`, the
+  record-level data plane used by the recovery-equivalence tests.
+
+Most callers only need :func:`inject_faults`::
+
+    job = build_traffic_job(seed=7)
+    inject_faults(job, "crash")          # preset name, dict, file, ...
+    result = job.run(120.0)
+    result.fault_events, result.invariant_violations
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import SimulationError
+from .capacity import capacity_dip
+from .injector import FaultInjector
+from .invariants import INVARIANTS, InvariantChecker, InvariantViolation, invariant
+from .pipeline import CheckpointedWordCount
+from .plan import (
+    ALL_NODES,
+    FAULT_KINDS,
+    GLOBAL_KINDS,
+    PRESET_PLANS,
+    FaultPlan,
+    FaultSpec,
+    load_fault_plan,
+    preset_plan,
+    shrink_failing,
+)
+
+__all__ = [
+    "ALL_NODES",
+    "FAULT_KINDS",
+    "GLOBAL_KINDS",
+    "INVARIANTS",
+    "PRESET_PLANS",
+    "CheckpointedWordCount",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InvariantChecker",
+    "InvariantViolation",
+    "capacity_dip",
+    "inject_faults",
+    "invariant",
+    "load_fault_plan",
+    "preset_plan",
+    "shrink_failing",
+]
+
+
+def inject_faults(
+    job,
+    plan: Union[FaultPlan, dict, str],
+    invariants: bool = True,
+    sample_interval_s: float = 1.0,
+    halt_on_violation: bool = False,
+) -> FaultInjector:
+    """Install *plan* (a :class:`FaultPlan`, dict, preset name, JSON
+    string, or JSON file path) on a built-but-not-yet-run job, plus an
+    :class:`InvariantChecker` unless ``invariants=False``.
+
+    Returns the installed :class:`FaultInjector`; the job gains
+    ``fault_plan`` / ``fault_injector`` / ``invariant_checker``
+    attributes that the result and summary layers read.
+    """
+    resolved = load_fault_plan(plan)
+    if getattr(job, "fault_injector", None) is not None:
+        raise SimulationError("job already has a fault injector installed")
+    injector = FaultInjector(job, resolved).install()
+    job.fault_plan = resolved
+    job.fault_injector = injector
+    if invariants:
+        checker = InvariantChecker(
+            sample_interval_s=sample_interval_s,
+            halt_on_violation=halt_on_violation,
+        )
+        checker.install(job)
+        job.invariant_checker = checker
+    return injector

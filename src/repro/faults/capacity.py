@@ -1,0 +1,44 @@
+"""Capacity dips: the shared mechanism behind slow-disk faults and the
+§6 disturbance injectors (:mod:`repro.sim.disturbances` delegates here).
+
+A dip scales a processor-sharing resource's capacity by a factor for a
+fixed window, then restores it.  Overlapping dips on the same resource
+do **not** compound: the first dip to arrive records the undisturbed
+capacity, nested dips each apply their factor to that original value,
+and the capacity is restored only when the last dip ends.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+__all__ = ["capacity_dip"]
+
+#: Capacity floor during a full stop — PS resources reject zero capacity.
+_STOPPED_CAPACITY = 1e-3
+
+
+def capacity_dip(
+    sim,
+    resource,
+    factor: float,
+    duration: float,
+    windows: Optional[List[Tuple[str, float, float]]] = None,
+) -> Generator[float, None, None]:
+    """Process generator: scale *resource* to ``original * factor`` for
+    *duration* simulated seconds.  Appends ``(name, start, end)`` to
+    *windows* when the dip ends, if a list is given."""
+    name = resource.name
+    start = sim.now
+    depth = getattr(resource, "_disturbance_depth", 0)
+    if depth == 0:
+        resource._undisturbed_capacity = resource.capacity
+    resource._disturbance_depth = depth + 1
+    original = resource._undisturbed_capacity
+    resource.set_capacity(max(original * factor, _STOPPED_CAPACITY))
+    yield duration
+    resource._disturbance_depth -= 1
+    if resource._disturbance_depth == 0:
+        resource.set_capacity(resource._undisturbed_capacity)
+    if windows is not None:
+        windows.append((name, start, sim.now))

@@ -221,6 +221,31 @@ class LevelManager:
             self._compacting.discard(table.table_id)
 
     # ------------------------------------------------------------------
+    # checkpoint snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> List[List[SSTable]]:
+        """A point-in-time copy of every level's table list.
+
+        SSTables are immutable once installed, so sharing the table
+        objects between the live levels and the snapshot is safe.
+        """
+        return [list(level) for level in self._levels]
+
+    def restore(self, snapshot: List[List[SSTable]]) -> None:
+        """Replace the level structure with *snapshot* (crash recovery).
+
+        Any in-flight compaction claims are dropped — their jobs belong
+        to the pre-crash store generation and will be discarded.
+        """
+        if len(snapshot) != self.num_levels:
+            raise LSMError(
+                f"snapshot has {len(snapshot)} levels, store has {self.num_levels}"
+            )
+        self._levels = [list(level) for level in snapshot]
+        self._compacting = set()
+
+    # ------------------------------------------------------------------
     # invariants (used heavily by property tests)
     # ------------------------------------------------------------------
 

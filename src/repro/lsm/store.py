@@ -77,6 +77,13 @@ class LSMStore:
         )
         #: memtable id -> WAL segment id, resolved at finish_flush.
         self._wal_segment_of: dict = {}
+        #: Bumped on every checkpoint restore; jobs picked before a
+        #: restore carry the old generation and are discarded on finish.
+        self.generation = 0
+        self.restore_count = 0
+        #: Memtable ids frozen at restore time: their in-flight flushes
+        #: complete as no-ops instead of corrupting the restored levels.
+        self._orphaned: set = set()
         #: Installed by the engine (the simulator's root tracer); the
         #: store emits memtable-freeze instants and L0-count counters.
         self.tracer = NULL_TRACER
@@ -207,6 +214,11 @@ class LSMStore:
         self._check_open()
         if job.store is not self:
             raise LSMError("flush job belongs to a different store")
+        if id(job.memtable) in self._orphaned:
+            # the store was restored from a checkpoint while this flush
+            # was in flight; its memtable no longer exists
+            self._orphaned.discard(id(job.memtable))
+            return job.run(now) if job.output is None else job.output
         if job.memtable not in self._frozen:
             raise LSMError("flush job's memtable is not pending")
         table = job.run(now) if job.output is None else job.output
@@ -239,13 +251,20 @@ class LSMStore:
         pick = self.levels.pick_compaction()
         if pick is None:
             return None
-        return CompactionJob(self, pick, created_at=now)
+        job = CompactionJob(self, pick, created_at=now)
+        job.generation = self.generation
+        return job
 
     def finish_compaction(self, job: CompactionJob, now: float = 0.0) -> SSTable:
         """Run the merge and install its output, freeing the inputs."""
         self._check_open()
         if job.store is not self:
             raise LSMError("compaction job belongs to a different store")
+        if getattr(job, "generation", self.generation) != self.generation:
+            # picked before a checkpoint restore: its inputs describe a
+            # level structure that no longer exists
+            self.levels.abandon_compaction(job.pick)
+            return job.run(now) if job.output is None else job.output
         output = job.run(now) if job.output is None else job.output
         cap = self.options.live_data_cap_bytes
         if cap is not None and job.pick.target_level >= 1:
@@ -286,6 +305,51 @@ class LSMStore:
     # ------------------------------------------------------------------
     # crash recovery
     # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """A checkpoint snapshot of the durable state: the level
+        structure plus the WAL frontier it covers.
+
+        Meant to be captured right after a checkpoint flush completes,
+        when the memtable contents have reached L0.
+        """
+        self._check_open()
+        return {
+            "levels": self.levels.snapshot(),
+            "wal_sequence": self.wal.last_sequence if self.wal is not None else 0,
+        }
+
+    def restore_from_checkpoint(self, snapshot: Optional[dict]) -> None:
+        """Rewind this store **in place** to *snapshot* (crash recovery).
+
+        Memtables are lost, the level structure reverts to the snapshot
+        (``None`` = cold start: empty levels), and WAL records written
+        after the snapshot's frontier are replayed into a fresh memtable.
+        In-flight flushes and compactions from before the restore are
+        orphaned and complete as no-ops.
+        """
+        self._check_open()
+        for memtable in self._frozen:
+            self._orphaned.add(id(memtable))
+        self._frozen = []
+        self._wal_segment_of.clear()
+        self._active = MemTable(self.options.entry_overhead_bytes)
+        if snapshot is None:
+            self.levels.restore([[] for _ in range(self.levels.num_levels)])
+            wal_sequence = 0
+        else:
+            self.levels.restore(snapshot["levels"])
+            wal_sequence = snapshot.get("wal_sequence", 0)
+        if self.wal is not None:
+            # replayed writes are already in the log — apply them to the
+            # fresh memtable without logging them again
+            for record in self.wal.replay_since(wal_sequence):
+                if record.op == "put":
+                    self._active.put(record.key, record.value)
+                else:
+                    self._active.delete(record.key)
+        self.generation += 1
+        self.restore_count += 1
 
     def simulate_crash_and_recover(self) -> "LSMStore":
         """Crash model: memtables are lost, SSTables survive, the WAL

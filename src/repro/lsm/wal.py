@@ -75,6 +75,7 @@ class WriteAheadLog:
         self._active = WalSegment(next(self._segment_ids))
         self._sealed: List[WalSegment] = []
         self.appended_bytes = 0
+        self._last_sequence = 0
 
     # ------------------------------------------------------------------
     # write path
@@ -90,6 +91,7 @@ class WriteAheadLog:
         record = WalRecord(next(self._sequence), op, key, value)
         self._active.append(record)
         self.appended_bytes += record.size_bytes
+        self._last_sequence = record.sequence
         return record.sequence
 
     # ------------------------------------------------------------------
@@ -120,6 +122,22 @@ class WriteAheadLog:
         for segment in self._sealed:
             yield from segment.records
         yield from self._active.records
+
+    def replay_since(self, sequence: int) -> Iterator[WalRecord]:
+        """Surviving records with sequence strictly after *sequence* —
+        the writes a checkpoint snapshot did not cover."""
+        for record in self.replay():
+            if record.sequence > sequence:
+                yield record
+
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the most recently logged write (0 = none).
+
+        Captured into checkpoint snapshots so recovery replays exactly
+        the records the snapshot missed.
+        """
+        return self._last_sequence
 
     @property
     def live_bytes(self) -> int:

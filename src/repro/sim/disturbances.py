@@ -18,6 +18,11 @@ injected on top of a running job.
 
 Each injector records its ``(node, start, end)`` windows so analyses can
 correlate the resulting latency spikes with their cause.
+
+.. deprecated::
+    These injector classes are superseded by declarative
+    :class:`repro.faults.FaultPlan` scenarios; the shared dip mechanism
+    now lives in :func:`repro.faults.capacity.capacity_dip`.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
+from ..compat import deprecated
 from ..errors import ConfigurationError
 from .kernel import Simulator
 from .process import spawn
@@ -35,10 +41,6 @@ __all__ = [
     "DvfsThrottleInjector",
     "ColocationInterferenceInjector",
 ]
-
-#: Capacity is never set to exactly zero (the PS resource needs a
-#: positive value); a stop-the-world pause leaves this many cores.
-_STOPPED_CAPACITY = 1e-3
 
 
 class _CapacityDisturbance:
@@ -58,27 +60,18 @@ class _CapacityDisturbance:
         """A generator process: reduce capacity by *factor* for
         *duration* seconds.
 
-        Nesting state lives on the *resource* so dips from different
-        injectors (a GC pause during a DVFS window) compose correctly:
-        the undisturbed capacity is saved once, overlapping dips are
-        not compounded, and the capacity is restored only when the last
-        overlapping dip ends.
+        Delegates to :func:`repro.faults.capacity.capacity_dip`, which
+        owns the nesting semantics: dips from different injectors (a GC
+        pause during a DVFS window, a slow-disk fault during either)
+        compose without compounding, and the capacity is restored only
+        when the last overlapping dip ends.
         """
-        name = resource.name
-        start = sim.now
-        depth = getattr(resource, "_disturbance_depth", 0)
-        if depth == 0:
-            resource._undisturbed_capacity = resource.capacity
-        resource._disturbance_depth = depth + 1
-        original = resource._undisturbed_capacity
-        resource.set_capacity(max(original * factor, _STOPPED_CAPACITY))
-        yield duration
-        resource._disturbance_depth -= 1
-        if resource._disturbance_depth == 0:
-            resource.set_capacity(resource._undisturbed_capacity)
-        self.windows.append((name, start, sim.now))
+        from ..faults.capacity import capacity_dip
+
+        return capacity_dip(sim, resource, factor, duration, windows=self.windows)
 
 
+@deprecated("describe GC pauses as a repro.faults.FaultPlan scenario instead")
 class GcPauseInjector(_CapacityDisturbance):
     """Periodic JVM stop-the-world garbage-collection pauses."""
 
@@ -140,6 +133,7 @@ class GcPauseInjector(_CapacityDisturbance):
         return sum(gaps) / len(gaps)
 
 
+@deprecated("describe DVFS throttling as a repro.faults.FaultPlan scenario instead")
 class DvfsThrottleInjector(_CapacityDisturbance):
     """Transient CPU frequency throttling under dynamic power control."""
 
@@ -180,6 +174,9 @@ class DvfsThrottleInjector(_CapacityDisturbance):
         spawn(sim, loop(), name=f"dvfs-injector-{resource.name}")
 
 
+@deprecated(
+    "describe co-location interference as a repro.faults.FaultPlan scenario instead"
+)
 class ColocationInterferenceInjector(_CapacityDisturbance):
     """A co-located tenant stealing a share of the node."""
 

@@ -116,6 +116,15 @@ class FluidFlow:
         self.blocked_fraction = 0.0
         self._queue = 0.0
 
+        #: Exact record accounting (messages, fluid): every sync adds the
+        #: integrated in/outflow here, so ``total_arrived + replayed ==
+        #: total_served + dropped + queue`` holds identically — the
+        #: exactly-once invariant checked under fault injection.
+        self.total_arrived = 0.0
+        self.total_served = 0.0
+        self.dropped_messages = 0.0
+        self.replayed_messages = 0.0
+
         self._resource = None
         self._alloc = 0.0
         self._serve_rate = 0.0
@@ -209,6 +218,9 @@ class FluidFlow:
         if elapsed > 0:
             inflow = self.arrival_rate * elapsed
             outflow = self._serve_rate * elapsed
+            served = min(outflow, self._queue + inflow)
+            self.total_arrived += inflow
+            self.total_served += served
             self._queue = max(0.0, self._queue + inflow - outflow)
         self._last_sync = now
 
@@ -258,8 +270,50 @@ class FluidFlow:
     def _on_queue_empty(self) -> None:
         self._empty_event = None
         self.sync(self.sim.now)
+        # Credit the numerical residue to served before snapping to empty,
+        # or the record-accounting balance drifts by the rounding error.
+        self.total_served += self._queue
         self._queue = 0.0
         self._request_realloc()
+
+    # ------------------------------------------------------------------
+    # fault injection (crash / recovery)
+    # ------------------------------------------------------------------
+
+    def drop_backlog(self) -> float:
+        """Discard the queued backlog (a worker crash loses its inputs).
+
+        Returns the number of messages dropped; they are tracked in
+        ``dropped_messages`` so record accounting stays exact.
+        """
+        self.sync(self.sim.now)
+        dropped = self._queue
+        self._queue = 0.0
+        self.dropped_messages += dropped
+        self._request_realloc()
+        return dropped
+
+    def add_backlog(self, messages: float) -> None:
+        """Re-enqueue *messages* (source replay after a restore)."""
+        if messages < 0:
+            raise SimulationError(
+                f"flow {self.name!r}: cannot add negative backlog {messages}"
+            )
+        if messages == 0:
+            return
+        self.sync(self.sim.now)
+        self._queue += messages
+        self.replayed_messages += messages
+        self._request_realloc()
+
+    def accounting_balance(self) -> float:
+        """``arrived + replayed − served − dropped − queued`` as of now.
+
+        Zero (up to float rounding) whenever no records have leaked.
+        """
+        self.sync(self.sim.now)
+        return (self.total_arrived + self.replayed_messages
+                - self.total_served - self.dropped_messages - self._queue)
 
     def _notify_output(self) -> None:
         rate = self._serve_rate

@@ -54,6 +54,8 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._events_fired = 0
+        self._aborted = False
+        self._abort_reason = ""
         self.rng = RngRegistry(seed)
         self.tracer = ensure_tracer(tracer)
         self._trace_dispatch = self.tracer.enabled and self.tracer.wants("kernel")
@@ -75,6 +77,24 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+    @property
+    def aborted(self) -> bool:
+        """Whether :meth:`abort` stopped the last :meth:`run` early."""
+        return self._aborted
+
+    @property
+    def abort_reason(self) -> str:
+        return self._abort_reason
+
+    def abort(self, reason: str = "") -> None:
+        """Ask the current :meth:`run` loop to stop before its next event.
+
+        Used by the invariant checker's halt-on-violation mode; the clock
+        stays at the abort time instead of advancing to ``until``.
+        """
+        self._aborted = True
+        self._abort_reason = reason
 
     # ------------------------------------------------------------------
     # scheduling
@@ -159,7 +179,7 @@ class Simulator:
         self._running = True
         executed = 0
         try:
-            while True:
+            while not self._aborted:
                 next_time = self._queue.peek_time()
                 if next_time is None:
                     break
@@ -171,7 +191,7 @@ class Simulator:
                     raise SimulationError(
                         f"run() exceeded max_events={max_events} at t={self._now}"
                     )
-            if until is not None and until > self._now:
+            if until is not None and until > self._now and not self._aborted:
                 self._now = until
         finally:
             self._running = False

@@ -99,6 +99,8 @@ class SimThreadPool:
         self.size = size
         self._pending: deque = deque()
         self._active: List[SimJob] = []
+        #: Pause depth (fault injection): > 0 freezes new job starts.
+        self._paused = 0
         #: Observers called with (job, "submitted" | "start" | "end").
         self.observers: List[Callable[[SimJob, str], None]] = []
         self.completed_jobs: List[SimJob] = []
@@ -146,12 +148,42 @@ class SimThreadPool:
         self.size = size
         self._maybe_start()
 
+    @property
+    def paused(self) -> bool:
+        return self._paused > 0
+
+    def pause(self) -> None:
+        """Stop starting queued jobs; running jobs finish normally.
+
+        Nestable — the pool resumes when every pause has been matched by
+        a :meth:`resume`.  This is how a flush/compaction thread stall
+        fault is injected.
+        """
+        self._paused += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"pause:{self.name}", "pool", self.sim.now,
+                tid=self.name, depth=self._paused,
+            )
+
+    def resume(self) -> None:
+        if self._paused == 0:
+            raise SimulationError(f"pool {self.name!r} is not paused")
+        self._paused -= 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"resume:{self.name}", "pool", self.sim.now,
+                tid=self.name, depth=self._paused,
+            )
+        if self._paused == 0:
+            self._maybe_start()
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
     def _maybe_start(self) -> None:
-        while self._pending and len(self._active) < self.size:
+        while self._pending and not self._paused and len(self._active) < self.size:
             job = self._pending.popleft()
             job.start_time = self.sim.now
             self._active.append(job)

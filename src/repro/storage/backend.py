@@ -12,7 +12,7 @@ bandwidth exactly like threads share CPU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError
 
@@ -58,6 +58,20 @@ class StorageProfile:
         the write figure, the binding constraint for flush/compaction.
         """
         return self.write_bandwidth_mb_s
+
+    def degraded(self, factor: float) -> "StorageProfile":
+        """A copy with bandwidth scaled by *factor* — the envelope of a
+        slow-disk episode (throttled device, failing media)."""
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"degradation factor must be in (0, 1], got {factor}"
+            )
+        return replace(
+            self,
+            name=f"{self.name}-degraded",
+            write_bandwidth_mb_s=self.write_bandwidth_mb_s * factor,
+            read_bandwidth_mb_s=self.read_bandwidth_mb_s * factor,
+        )
 
 
 #: In-memory tmpfs: effectively free I/O — the paper's headline config,

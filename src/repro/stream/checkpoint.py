@@ -7,18 +7,27 @@ completed the new SSTables are shipped asynchronously to HDFS.  The
 trigger is *simultaneous across all instances* — the second
 pre-condition of ShadowSync (§4.1): hundreds of flushes start together,
 so any compactions they trip also start together.
+
+The coordinator also owns the recovery path exercised by fault
+injection: each instance's ack captures a state snapshot (level
+structure + WAL frontier), a completed checkpoint promotes those
+snapshots to the instance's restore point, and
+:meth:`CheckpointCoordinator.restore_instance` rewinds a crashed
+instance's store to it in place.  Checkpoints caught by a crash (or by
+the configured ``timeout_s``) are *aborted*: late acks are dropped and
+their snapshots are never restored from.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..config import CheckpointConfig
 from ..metrics.collector import MetricsCollector
 from ..sim.kernel import Simulator
 from ..sim.process import spawn
 from ..storage.hdfs import HdfsBackup
-from .stage import Stage
+from .stage import Stage, StageInstance
 from .state_backend import LSMStateBackend
 
 __all__ = ["CheckpointRecord", "CheckpointCoordinator"]
@@ -27,14 +36,30 @@ __all__ = ["CheckpointRecord", "CheckpointCoordinator"]
 class CheckpointRecord:
     """Outcome of one checkpoint."""
 
-    __slots__ = ("checkpoint_id", "triggered_at", "completed_at", "bytes", "flushes")
+    __slots__ = (
+        "checkpoint_id",
+        "triggered_at",
+        "completed_at",
+        "aborted_at",
+        "abort_reason",
+        "state",
+        "bytes",
+        "flushes",
+        "snapshots",
+    )
 
     def __init__(self, checkpoint_id: int, triggered_at: float) -> None:
         self.checkpoint_id = checkpoint_id
         self.triggered_at = triggered_at
         self.completed_at: Optional[float] = None
+        self.aborted_at: Optional[float] = None
+        self.abort_reason: Optional[str] = None
+        #: "in-flight" → "completed" | "aborted".
+        self.state = "in-flight"
         self.bytes = 0
         self.flushes = 0
+        #: instance name -> state snapshot captured at its flush ack.
+        self.snapshots: Dict[str, dict] = {}
 
     @property
     def duration(self) -> Optional[float]:
@@ -45,12 +70,12 @@ class CheckpointRecord:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Checkpoint #{self.checkpoint_id} at {self.triggered_at:.1f}s "
-            f"bytes={self.bytes} flushes={self.flushes}>"
+            f"state={self.state} bytes={self.bytes} flushes={self.flushes}>"
         )
 
 
 class CheckpointCoordinator:
-    """Triggers checkpoints and tracks their completion."""
+    """Triggers checkpoints, tracks their completion, restores state."""
 
     def __init__(
         self,
@@ -71,6 +96,14 @@ class CheckpointCoordinator:
         self._next_id = 0
         self._in_flight = 0
         self.skipped_overlapping = 0
+        #: Checkpoint timeout in effect for *future* triggers; starts as
+        #: the config value and may be changed by fault injection.
+        self.timeout_s: Optional[float] = config.timeout_s
+        #: instance name -> (checkpoint_id, triggered_at, snapshot) of
+        #: the newest *completed* checkpoint covering that instance.
+        self._latest_snapshot: Dict[str, Tuple[int, float, dict]] = {}
+        #: Restore operations performed, for summaries and tests.
+        self.restore_events: List[dict] = []
         #: Callbacks invoked with the trigger time of every checkpoint.
         self.on_trigger: List = []
 
@@ -118,24 +151,32 @@ class CheckpointCoordinator:
 
         pending = [0]  # boxed counter shared by the ack closures
         self._in_flight += 1
+        if self.timeout_s is not None:
+            self.sim.schedule_after(self.timeout_s, self._check_timeout, record)
 
-        def ack(nbytes: int, record: CheckpointRecord = record) -> None:
-            record.bytes += nbytes
-            if nbytes > 0:
-                record.flushes += 1
-            pending[0] -= 1
-            if tracer.enabled:
-                tracer.instant(
-                    "checkpoint-ack",
-                    "checkpoint",
-                    self.sim.now,
-                    tid="coordinator",
-                    checkpoint_id=record.checkpoint_id,
-                    bytes=nbytes,
-                    pending=pending[0],
-                )
-            if pending[0] == 0:
-                self._complete(record)
+        def make_ack(instance: StageInstance):
+            def ack(nbytes: int) -> None:
+                if record.state != "in-flight":
+                    return  # aborted (crash or timeout): drop late acks
+                self._capture_snapshot(record, instance)
+                record.bytes += nbytes
+                if nbytes > 0:
+                    record.flushes += 1
+                pending[0] -= 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "checkpoint-ack",
+                        "checkpoint",
+                        self.sim.now,
+                        tid="coordinator",
+                        checkpoint_id=record.checkpoint_id,
+                        bytes=nbytes,
+                        pending=pending[0],
+                    )
+                if pending[0] == 0:
+                    self._complete(record)
+
+            return ack
 
         instances = [
             instance
@@ -148,12 +189,31 @@ class CheckpointCoordinator:
             self._complete(record)
             return record
         for instance in instances:
-            self.backend.flush_instance(instance, reason="checkpoint", on_done=ack)
+            self.backend.flush_instance(
+                instance, reason="checkpoint", on_done=make_ack(instance)
+            )
         return record
 
+    def _capture_snapshot(
+        self, record: CheckpointRecord, instance: StageInstance
+    ) -> None:
+        store = instance.store
+        if store is None:
+            return
+        record.snapshots[instance.name] = store.snapshot_state()
+
     def _complete(self, record: CheckpointRecord) -> None:
+        if record.state != "in-flight":
+            return
+        record.state = "completed"
         record.completed_at = self.sim.now
         self._in_flight -= 1
+        for name, snapshot in record.snapshots.items():
+            latest = self._latest_snapshot.get(name)
+            if latest is None or latest[0] < record.checkpoint_id:
+                self._latest_snapshot[name] = (
+                    record.checkpoint_id, record.triggered_at, snapshot,
+                )
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.complete(
@@ -170,10 +230,102 @@ class CheckpointCoordinator:
             self.hdfs.backup(record.checkpoint_id, record.bytes)
 
     # ------------------------------------------------------------------
+    # abort / timeout
+    # ------------------------------------------------------------------
+
+    def abort_in_flight(self, reason: str = "abort") -> List[CheckpointRecord]:
+        """Abort every in-flight checkpoint (a worker crashed mid-barrier)."""
+        aborted = [r for r in self.records if r.state == "in-flight"]
+        for record in aborted:
+            self._abort(record, reason)
+        return aborted
+
+    def _abort(self, record: CheckpointRecord, reason: str) -> None:
+        if record.state != "in-flight":
+            return
+        record.state = "aborted"
+        record.aborted_at = self.sim.now
+        record.abort_reason = reason
+        # an aborted checkpoint must never become a restore point
+        record.snapshots.clear()
+        self._in_flight -= 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "checkpoint-abort",
+                "checkpoint",
+                self.sim.now,
+                tid="coordinator",
+                checkpoint_id=record.checkpoint_id,
+                reason=reason,
+            )
+
+    def _check_timeout(self, record: CheckpointRecord) -> None:
+        if record.state == "in-flight":
+            self._abort(record, "timeout")
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def latest_snapshot(self, instance_name: str) -> Optional[Tuple[int, float, dict]]:
+        return self._latest_snapshot.get(instance_name)
+
+    def last_completed_time(self) -> float:
+        """Trigger time of the newest completed checkpoint (0 = none)."""
+        done = [r.triggered_at for r in self.records if r.state == "completed"]
+        return max(done) if done else 0.0
+
+    def restore_instance(self, instance: StageInstance) -> dict:
+        """Rewind *instance*'s store to its newest completed snapshot.
+
+        A store that was never covered by a completed checkpoint is reset
+        to a cold start (empty levels; WAL replay still applies).  The
+        store object is mutated **in place** — the engine's accounting
+        loops keep their references.  Returns a restore-info dict with
+        ``checkpoint_id`` (``None`` = cold start) and ``snapshot_time``.
+        """
+        store = instance.store
+        entry = self._latest_snapshot.get(instance.name)
+        if store is None:
+            info = {"instance": instance.name, "checkpoint_id": None,
+                    "snapshot_time": self.last_completed_time(),
+                    "restored": False}
+        elif entry is None:
+            store.restore_from_checkpoint(None)
+            info = {"instance": instance.name, "checkpoint_id": None,
+                    "snapshot_time": 0.0, "restored": True}
+        else:
+            checkpoint_id, triggered_at, snapshot = entry
+            store.restore_from_checkpoint(snapshot)
+            info = {"instance": instance.name, "checkpoint_id": checkpoint_id,
+                    "snapshot_time": triggered_at, "restored": True}
+        self.restore_events.append(dict(info, time=self.sim.now))
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "checkpoint-restore",
+                "checkpoint",
+                self.sim.now,
+                tid="coordinator",
+                instance=instance.name,
+                checkpoint_id=info["checkpoint_id"],
+            )
+        return info
+
+    # ------------------------------------------------------------------
 
     @property
     def completed(self) -> List[CheckpointRecord]:
-        return [r for r in self.records if r.completed_at is not None]
+        return [r for r in self.records if r.state == "completed"]
+
+    @property
+    def aborted(self) -> List[CheckpointRecord]:
+        return [r for r in self.records if r.state == "aborted"]
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
 
     def checkpoint_times(self) -> List[float]:
         return [r.triggered_at for r in self.records]

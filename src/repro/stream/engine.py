@@ -69,6 +69,7 @@ class StreamJob:
         sample_real_state: bool = True,
         disturbances: Optional[list] = None,
         tracer: Optional[Tracer] = None,
+        faults=None,
     ) -> None:
         if not stages:
             raise ConfigurationError("a job needs at least one stage")
@@ -205,6 +206,16 @@ class StreamJob:
                 disturbance.install(self.sim, node.cpu)
             if hasattr(disturbance, "note_checkpoint"):
                 self.coordinator.on_trigger.append(disturbance.note_checkpoint)
+
+        # --- fault injection (repro.faults) ------------------------------
+        #: Set by repro.faults.inject_faults(); None on fault-free runs.
+        self.fault_plan = None
+        self.fault_injector = None
+        self.invariant_checker = None
+        if faults is not None:
+            from ..faults import inject_faults
+
+            inject_faults(self, faults)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -345,6 +356,8 @@ class StreamJob:
         for stage in self.stages:
             for flow in stage.flows.values():
                 flow.finalize(self.sim.now)
+        if self.invariant_checker is not None:
+            self.invariant_checker.finalize()
         return StreamJobResult(self, duration)
 
 
@@ -501,6 +514,18 @@ class StreamJobResult:
         else:
             raise ValueError(f"unknown trace format {format!r}")
 
+    @property
+    def fault_events(self) -> List[dict]:
+        """Injected-fault events (empty on fault-free runs)."""
+        injector = self.job.fault_injector
+        return [] if injector is None else [dict(e) for e in injector.events]
+
+    @property
+    def invariant_violations(self) -> List[dict]:
+        """Recorded invariant violations (empty when no checker ran)."""
+        checker = self.job.invariant_checker
+        return [] if checker is None else [v.to_dict() for v in checker.violations]
+
     def millibottleneck_report(self, start: float = 0.0,
                                end: Optional[float] = None, **kwargs):
         """Run the §3 millibottleneck detector over this run's trace
@@ -516,7 +541,7 @@ class StreamJobResult:
         if end is None:
             end = self.duration
         completed = self.coordinator.completed
-        return {
+        summary = {
             "duration_s": self.duration,
             "measured_span": [start, end],
             "tails_s": self.tail_summary(start=start, end=end),
@@ -544,3 +569,11 @@ class StreamJobResult:
             "backup_pending": self.job.hdfs.pending,
             "mean_cpu_cores": self.cpu_series(None).time_average(start, end),
         }
+        if self.job.fault_injector is not None or self.job.invariant_checker is not None:
+            plan = self.job.fault_plan
+            summary["faults"] = {
+                "plan": None if plan is None else plan.to_dict(),
+                "events": self.fault_events,
+                "invariant_violations": self.invariant_violations,
+            }
+        return summary

@@ -102,6 +102,25 @@ class KafkaBroker:
     def committed(self, group: str, topic_name: str, partition: int) -> int:
         return self._offsets.get((group, topic_name, partition), 0)
 
+    def snapshot_offsets(self, group: str) -> Dict[tuple, int]:
+        """Copy of *group*'s committed offsets across all topics —
+        captured alongside state snapshots so a recovery can rewind the
+        source to exactly the last checkpoint's read position."""
+        return {key: offset for key, offset in self._offsets.items()
+                if key[0] == group}
+
+    def restore_offsets(self, group: str, snapshot: Dict[tuple, int]) -> None:
+        """Rewind *group* to *snapshot*; offsets committed since the
+        snapshot are discarded (their records will be re-read)."""
+        for key in [key for key in self._offsets if key[0] == group]:
+            del self._offsets[key]
+        for key, offset in snapshot.items():
+            if key[0] != group:
+                raise ConfigurationError(
+                    f"offset key {key} does not belong to group {group!r}"
+                )
+            self._offsets[key] = offset
+
     def lag(self, group: str, topic_name: str) -> int:
         """Total records not yet committed by *group* across partitions."""
         topic = self.topic(topic_name)

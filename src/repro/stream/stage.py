@@ -84,6 +84,9 @@ class StageInstance:
         self.flush_in_flight = 0
         #: Write-stall severity: 0 none, 0.5 slowdown, 1.0 stopped.
         self.stall_level = 0.0
+        #: Set while the hosting worker is down (fault injection); fully
+        #: freezes this instance's share of the stage's processing.
+        self.crashed = False
 
     @property
     def name(self) -> str:
@@ -122,7 +125,8 @@ class Stage:
         if not hosted:
             return 0.0
         blocked = sum(
-            1.0 if inst.blocked else inst.stall_level for inst in hosted
+            1.0 if (inst.blocked or inst.crashed) else inst.stall_level
+            for inst in hosted
         )
         return blocked / len(hosted)
 

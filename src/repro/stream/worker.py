@@ -47,9 +47,40 @@ class WorkerNode:
             sim, f"{name}-compaction", compaction_threads
         )
         self.instances: List = []
+        #: Crash-fault nesting depth (see :meth:`begin_crash`).
+        self._crash_depth = 0
 
     def host(self, instance) -> None:
         self.instances.append(instance)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crash_depth > 0
+
+    def begin_crash(self) -> None:
+        """Take the node down: freeze every hosted instance and stop the
+        background pools from starting new jobs.  Nestable (overlapping
+        crash faults); :meth:`end_crash` undoes one level."""
+        self._crash_depth += 1
+        for instance in self.instances:
+            instance.crashed = True
+        self.flush_pool.pause()
+        self.compaction_pool.pause()
+
+    def end_crash(self) -> None:
+        """Bring the node back up (after state restore)."""
+        if self._crash_depth == 0:
+            return
+        self._crash_depth -= 1
+        if self._crash_depth == 0:
+            for instance in self.instances:
+                instance.crashed = False
+        self.flush_pool.resume()
+        self.compaction_pool.resume()
 
     @property
     def flush_threads(self) -> int:

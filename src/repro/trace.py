@@ -184,11 +184,18 @@ class Tracer:
     def clear(self) -> None:
         self.events.clear()
 
-    def select(self, cat: Optional[str] = None, ph: Optional[str] = None) -> List[TraceEvent]:
+    def select(
+        self,
+        cat: Optional[str] = None,
+        ph: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> List[TraceEvent]:
         return [
             e
             for e in self.events
-            if (cat is None or e.cat == cat) and (ph is None or e.ph == ph)
+            if (cat is None or e.cat == cat)
+            and (ph is None or e.ph == ph)
+            and (name is None or e.name == name)
         ]
 
     def extend(self, events: Iterable[TraceEvent]) -> None:

@@ -1,6 +1,7 @@
 """Tests for the content-addressed experiment result cache."""
 
 import dataclasses
+import json
 
 import pytest
 
@@ -16,8 +17,22 @@ from repro.experiments.parallel import (
     spec_cache_key,
 )
 from repro.experiments.runner import ExperimentSettings
+from repro.faults import FaultPlan, FaultSpec
 
 SHORT = ExperimentSettings(duration_s=25.0, warmup_s=8.0, seed=11)
+
+CRASH_PLAN = FaultPlan(
+    name="cache-crash",
+    faults=(
+        FaultSpec(kind="worker_crash", at_s=12.0, duration_s=2.0, node=0),
+        FaultSpec(kind="slow_disk", at_s=18.0, duration_s=3.0, node=1,
+                  factor=0.25),
+    ),
+)
+
+
+def canonical(summary):
+    return json.dumps(summary.to_dict(), sort_keys=True)
 
 
 @pytest.fixture()
@@ -107,3 +122,59 @@ def test_clear_cache(cache_root):
     run_grid([RunSpec(settings=SHORT)], cache_directory=cache_root)
     assert clear_cache(cache_root) == 1
     assert not list(cache_root.glob("*.json"))
+
+
+# ----------------------------------------------------------------------
+# fault plans participate in the cache key and stay deterministic
+# ----------------------------------------------------------------------
+
+
+def test_fault_plan_changes_the_cache_key():
+    clean = RunSpec(settings=SHORT)
+    faulted = dataclasses.replace(clean, faults=CRASH_PLAN)
+    other = dataclasses.replace(
+        clean,
+        faults=FaultPlan(name="other", faults=(
+            FaultSpec(kind="flush_stall", at_s=12.0, duration_s=2.0, node=0),
+        )),
+    )
+    keys = {spec_cache_key(clean), spec_cache_key(faulted),
+            spec_cache_key(other)}
+    assert len(keys) == 3
+
+
+def test_fault_spec_accepts_plan_as_dict():
+    spec = RunSpec(settings=SHORT, faults=CRASH_PLAN.to_dict())
+    assert spec.faults == CRASH_PLAN
+    assert spec_cache_key(spec) == spec_cache_key(
+        RunSpec(settings=SHORT, faults=CRASH_PLAN)
+    )
+
+
+def test_faulted_run_is_byte_identical_across_reruns(cache_root):
+    spec = RunSpec(settings=SHORT, faults=CRASH_PLAN, label="determinism")
+    first = run_grid([spec], cache=False)[0]
+    second = run_grid([spec], cache=False)[0]
+    assert canonical(first) == canonical(second)
+    assert first.fault_events
+    assert first.fault_plan["name"] == "cache-crash"
+
+
+def test_faulted_run_round_trips_through_the_cache(cache_root, monkeypatch):
+    spec = RunSpec(settings=SHORT, faults=CRASH_PLAN)
+    fresh = run_grid([spec], cache_directory=cache_root)[0]
+
+    def boom(_spec):
+        raise AssertionError("cache miss: simulation re-executed")
+
+    monkeypatch.setattr(parallel_mod, "execute_spec", boom)
+    cached = run_grid([spec], cache_directory=cache_root)[0]
+    assert canonical(cached) == canonical(fresh)
+
+
+@pytest.mark.slow
+def test_faulted_run_identical_serial_and_parallel(cache_root):
+    spec = RunSpec(settings=SHORT, faults=CRASH_PLAN)
+    serial = run_grid([spec, spec.with_seed(12)], cache=False, jobs=1)
+    parallel = run_grid([spec, spec.with_seed(12)], cache=False, jobs=2)
+    assert [canonical(s) for s in serial] == [canonical(s) for s in parallel]
