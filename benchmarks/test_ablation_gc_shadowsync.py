@@ -2,41 +2,53 @@
 
 The discussion section argues that JVM GC pauses and DVFS throttling
 are further asynchronous events prone to overlapping with checkpoints.
-This ablation injects GC pauses into the *mitigated* traffic job and
-shows that (a) they create a new latency tail the LSM mitigations do
-not address, and (b) the tail grows when the pauses correlate with
-checkpoints — hidden synchronization again.
+This ablation injects periodic stop-the-world pauses (spawned
+:func:`repro.faults.capacity.capacity_dip` processes) into the
+*mitigated* traffic job and shows that they create a new latency tail
+the LSM mitigations do not address — hidden synchronization again.
 """
 
 from repro.apps import build_traffic_job
 from repro.core import MitigationPlan
-from repro.sim import GcPauseInjector
+from repro.faults.capacity import capacity_dip
+from repro.sim.process import spawn
 
 from conftest import record
 
 
-def run_with_gc(settings, gc=None):
+def gc_pauses(job, interval_s=17.3, pause_s=0.35, jitter=0.3, first_at_s=5.0):
+    """Periodic stop-the-world GC pauses on every node of *job*."""
+    sim = job.sim
+
+    def loop(node):
+        rng = sim.rng.stream(f"gc/{node.name}")
+        yield first_at_s
+        while True:
+            spawn(sim, capacity_dip(sim, node.cpu, 0.0, pause_s))
+            wait = interval_s * (1.0 + jitter * (2.0 * rng.random() - 1.0))
+            yield max(wait, pause_s)
+
+    for node in job.nodes:
+        spawn(sim, loop(node), name=f"gc-injector-{node.name}")
+
+
+def run_with_gc(settings, gc=False):
     job = build_traffic_job(
         checkpoint_interval_s=8.0,
         initial_l0="aligned",
         seed=settings.seed,
         mitigation=MitigationPlan.paper_solution(),
     )
-    if gc is not None:
-        for node in job.nodes:
-            gc.install(job.sim, node.cpu)
-        job.coordinator.on_trigger.append(gc.note_checkpoint)
+    if gc:
+        gc_pauses(job)
     return job.run(settings.duration_s).tail_summary(start=settings.warmup_s)
 
 
 def test_gc_pauses_reintroduce_tail(benchmark, settings):
     def experiment():
-        quiet = run_with_gc(settings, None)
-        uncorrelated = run_with_gc(
-            settings,
-            GcPauseInjector(interval_s=17.3, pause_s=0.35, jitter=0.3),
-        )
-        return quiet, uncorrelated
+        quiet = run_with_gc(settings, gc=False)
+        with_pauses = run_with_gc(settings, gc=True)
+        return quiet, with_pauses
 
     quiet, with_gc = benchmark.pedantic(experiment, rounds=1, iterations=1)
     record("Ablation C", "mitigated p99.9 without/with GC [s]",

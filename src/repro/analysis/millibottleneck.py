@@ -76,6 +76,10 @@ class SpikeAttribution:
     #: Injected-fault windows (``kind@node``) overlapping this spike —
     #: distinguishes ShadowSync spikes from fault-induced ones.
     faults: List[str] = field(default_factory=list)
+    #: Resilience-action windows (``degraded``, ``load-shed``) the spike
+    #: fell into — spikes inside a degraded window are the overload the
+    #: guard was already reacting to, not new hidden synchronization.
+    resilience: List[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -91,6 +95,7 @@ class SpikeAttribution:
             "attributed": self.attributed,
             "classification": self.classification,
             "faults": list(self.faults),
+            "resilience": list(self.resilience),
         }
 
     @classmethod
@@ -98,6 +103,7 @@ class SpikeAttribution:
         data = dict(data)
         data["window"] = tuple(data["window"])
         data.setdefault("faults", [])
+        data.setdefault("resilience", [])
         return cls(**data)
 
 
@@ -187,6 +193,7 @@ def detect(
     checkpoint_times: Sequence[float] = (),
     per_checkpoint: Optional[Dict[int, Dict[str, int]]] = None,
     fault_windows: Sequence[Tuple[str, float, float]] = (),
+    resilience_windows: Sequence[Tuple[str, float, float]] = (),
     threshold: Optional[float] = None,
     pad_s: float = 1.0,
     saturation: float = 0.95,
@@ -271,6 +278,9 @@ def detect(
         fault_labels = sorted(
             {name for name, fs, fe in fault_windows if fs <= w1 and fe >= w0}
         )
+        resilience_labels = sorted(
+            {name for name, rs, re in resilience_windows if rs <= w1 and re >= w0}
+        )
 
         attributed = (
             n_flush > 0
@@ -299,6 +309,7 @@ def detect(
                 attributed=attributed,
                 classification=classification,
                 faults=fault_labels,
+                resilience=resilience_labels,
             )
         )
 
@@ -343,6 +354,7 @@ def analyze_result(
     injector = getattr(result.job, "fault_injector", None)
     if injector is not None:
         kwargs.setdefault("fault_windows", list(injector.windows))
+    kwargs.setdefault("resilience_windows", result.resilience_windows)
     return detect(
         times,
         p999,
@@ -366,6 +378,18 @@ def analyze_summary(summary, **kwargs) -> MillibottleneckReport:
         if e.get("end") is not None
     ]
     kwargs.setdefault("fault_windows", fault_windows)
+    resilience = getattr(summary, "resilience", None) or {}
+    resilience_windows = [
+        (mode, start, end)
+        for mode, start, end in resilience.get("mode_windows", [])
+        if end is not None
+    ]
+    resilience_windows.extend(
+        ("load-shed", start, end)
+        for start, end in (resilience.get("shed") or {}).get("windows", [])
+        if end is not None
+    )
+    kwargs.setdefault("resilience_windows", resilience_windows)
     return detect(
         summary.fine_times,
         summary.fine_p999,

@@ -44,6 +44,7 @@ from .experiments.runner import (
     run_traffic,
     run_wordcount,
 )
+from .errors import OverloadError, RetryExhaustedError, WatchdogError
 from .experiments.report import render_series, render_table, render_tails
 from .experiments.summary import RunSummary, summarize_run
 from .faults import (
@@ -58,8 +59,22 @@ from .faults import (
     preset_plan,
 )
 from .lsm import LSMOptions, LSMStore
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    LoadShedder,
+    OverloadController,
+    ResilienceConfig,
+    ResilientKafkaCommitter,
+    ResilientUploader,
+    RetryPolicy,
+    SLOGuard,
+    Watchdog,
+    install_resilience,
+)
+from .resilience.soak import SoakReport, run_soak
 from .serialize import from_dict, to_dict
-from .sim import DvfsThrottleInjector, GcPauseInjector, Simulator
+from .sim import Simulator
 from .storage.backend import HDD, NVME_SSD, TMPFS, StorageProfile
 from .stream.engine import StreamJob, StreamJobResult
 from .stream.sources import ConstantSource
@@ -107,8 +122,6 @@ __all__ = [
     "estimate_drain_time",
     "recommend_flush_threads",
     "recommend_compaction_threads",
-    "DvfsThrottleInjector",
-    "GcPauseInjector",
     # fault injection & recovery
     "FaultPlan",
     "FaultSpec",
@@ -119,6 +132,23 @@ __all__ = [
     "inject_faults",
     "load_fault_plan",
     "preset_plan",
+    # overload protection & chaos soak
+    "ResilienceConfig",
+    "SLOGuard",
+    "OverloadController",
+    "LoadShedder",
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+    "ResilientUploader",
+    "ResilientKafkaCommitter",
+    "Watchdog",
+    "install_resilience",
+    "run_soak",
+    "SoakReport",
+    "OverloadError",
+    "RetryExhaustedError",
+    "WatchdogError",
     # reporting
     "render_tails",
     "render_series",

@@ -40,3 +40,30 @@ class CheckpointError(ReproError):
 class AnalysisError(ReproError):
     """Raised when an analysis routine receives degenerate input
     (e.g. fewer than three points for knee detection)."""
+
+
+class ResilienceError(ReproError):
+    """Base class for errors raised by :mod:`repro.resilience` — the
+    closed-loop overload-protection layer (SLO guard, load shedding,
+    retry/circuit-breaker policies, watchdog supervision)."""
+
+
+class OverloadError(ResilienceError):
+    """Raised when the system failed to stay within its overload budget:
+    a soak run whose windowed tail latency never recovered after a fault
+    window, an unshed queue blow-up, or an invariant violation under
+    load.  See :meth:`repro.resilience.soak.SoakReport.require_pass`."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """Raised (or recorded, on asynchronous paths) when a
+    :class:`repro.resilience.policies.RetryPolicy` has spent every
+    attempt without a success — e.g. a checkpoint snapshot upload that
+    kept missing its deadline, or a Kafka offset commit that failed on
+    all attempts."""
+
+
+class WatchdogError(ResilienceError):
+    """Raised when the :class:`repro.resilience.watchdog.Watchdog` is
+    misused (installed twice, attached to a finished job) or when a
+    supervised restart cannot be performed."""

@@ -9,6 +9,8 @@ Usage::
     python -m repro run headline --trace   # record traces alongside
     python -m repro trace fig8             # trace + millibottleneck report
     python -m repro trace fig8 --chrome    # Perfetto-loadable trace file
+    python -m repro soak                   # chaos-soak: faults + SLO audit
+    python -m repro soak --seeds 1 2 3 --random --duration 300
     python -m repro compare                # baseline vs solution summary
     python -m repro cache info             # inspect the result cache
     python -m repro cache clear
@@ -138,6 +140,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default serial)")
     compare.add_argument("--no-cache", action="store_true",
                          help="bypass the on-disk result cache")
+
+    soak = sub.add_parser(
+        "soak",
+        help="chaos-soak: run seeded fault schedules against the guarded "
+             "pipeline and audit SLO recovery, exactly-once invariants and "
+             "queue bounds (exit 1 on any failure)",
+    )
+    soak.add_argument("--kind", choices=("traffic", "wordcount"),
+                      default="traffic")
+    soak.add_argument("--seeds", type=int, nargs="+", default=[1, 2],
+                      help="one soak run per seed (default: 1 2)")
+    soak.add_argument("--duration", type=float, default=130.0,
+                      help="simulated seconds per run (default 130)")
+    soak.add_argument("--warmup", type=float, default=20.0,
+                      help="seconds before the baseline window (default 20)")
+    soak.add_argument("--faults", default="combined", metavar="PLAN",
+                      help="fault plan: preset name, JSON file or inline "
+                           "JSON (default: the 'combined' preset)")
+    soak.add_argument("--random", action="store_true",
+                      help="ignore --faults; generate a random FaultPlan "
+                           "per seed (FaultPlan.random)")
+    soak.add_argument("--budget", type=float, default=25.0,
+                      help="recovery budget after each fault window, "
+                           "seconds (default 25)")
+    soak.add_argument("--ratio", type=float, default=1.5,
+                      help="recovered = p99.9 <= ratio x pre-fault "
+                           "baseline (default 1.5)")
+    soak.add_argument("--queue-limit", type=float, default=300_000.0,
+                      help="max sampled backlog before the run counts as "
+                           "a queue blow-up (default 300000 messages)")
+    soak.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (default serial; 0 = one "
+                           "per core)")
+    soak.add_argument("--no-cache", action="store_true",
+                      help="bypass the on-disk result cache")
+    soak.add_argument("--json", action="store_true",
+                      help="dump the full SoakReport as JSON")
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
@@ -312,6 +351,66 @@ def _faults_command(args) -> int:
     return 0
 
 
+def _soak_command(args) -> int:
+    """Run the chaos-soak campaign; print verdicts; exit 1 on failure."""
+    from ..errors import ConfigurationError
+    from ..resilience.soak import run_soak
+
+    try:
+        with _cache_override(args.no_cache):
+            report = run_soak(
+                kind=args.kind,
+                seeds=tuple(args.seeds),
+                duration_s=args.duration,
+                warmup_s=args.warmup,
+                faults=args.faults,
+                random_faults=args.random,
+                recovery_budget_s=args.budget,
+                recovery_ratio=args.ratio,
+                queue_limit_messages=args.queue_limit,
+                jobs=args.jobs,
+            )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2, default=str)
+        print()
+        return 0 if report.ok else 1
+
+    plan_name = "random per seed" if args.random else args.faults
+    print(f"== chaos soak: {args.kind}, plan {plan_name!r}, "
+          f"{len(args.seeds)} seed(s), {args.duration:.0f}s each ==")
+    for run in report.runs:
+        verdict = "PASS" if run["ok"] else "FAIL"
+        print(f"\nseed {run['seed']} [{verdict}]  "
+              f"baseline p99.9 {run['baseline_p999_s']:.3f}s  "
+              f"trips {run['trips']}  shed {run['shed_messages']:.0f} msg  "
+              f"watchdog restarts {run['watchdog_restarts']}  "
+              f"violations {run['invariant_violations']}")
+        if run["windows"]:
+            headers = ["fault window", "start [s]", "end [s]",
+                       "recovered [s]", "deadline [s]"]
+            rows = [
+                [w["label"], f"{w['start']:.1f}", f"{w['end']:.1f}",
+                 "-" if w["recovered_at"] is None
+                 else f"{w['recovered_at']:.1f}",
+                 f"{w['budget_until']:.1f}"]
+                for w in run["windows"]
+            ]
+            print(render_table(headers, rows))
+        for failure in run["failures"]:
+            print(f"  FAIL: {failure}")
+    print()
+    if report.ok:
+        print("soak: PASS (all windows recovered, zero invariant "
+              "violations, queues bounded)")
+        return 0
+    print(f"soak: FAIL ({len(report.failures)} failure(s))")
+    return 1
+
+
 class _cache_override:
     """Temporarily force ``REPRO_CACHE=off`` for ``--no-cache`` runs."""
 
@@ -375,6 +474,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "trace":
         return _trace_command(args)
+
+    if args.command == "soak":
+        return _soak_command(args)
 
     if args.command == "run" and getattr(args, "faults", None):
         return _faults_command(args)

@@ -40,6 +40,7 @@ from ..compat import keyword_only
 from ..core.mitigation import MitigationPlan
 from ..errors import ConfigurationError
 from ..faults.plan import FaultPlan
+from ..resilience.config import ResilienceConfig
 from ..storage.backend import profile_by_name
 from .runner import (
     DEFAULT_SETTINGS,
@@ -95,6 +96,8 @@ class RunSpec:
     label: str = ""
     #: Fault plan injected into the run (``None`` = fault-free).
     faults: Optional[FaultPlan] = None
+    #: Resilience (overload-protection) config (``None`` = disabled).
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -104,6 +107,14 @@ class RunSpec:
         profile_by_name(self.storage)  # raises on unknown profiles
         if isinstance(self.faults, dict):
             object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
+        if isinstance(self.resilience, dict):
+            object.__setattr__(
+                self, "resilience", ResilienceConfig.from_dict(self.resilience)
+            )
+        elif self.resilience is True:
+            from ..resilience.config import DEFAULT_RESILIENCE
+
+            object.__setattr__(self, "resilience", DEFAULT_RESILIENCE)
 
     def with_seed(self, seed: int) -> "RunSpec":
         """A copy of this spec running under a different seed."""
@@ -119,6 +130,9 @@ class RunSpec:
             "initial_l0": self.initial_l0,
             "storage": self.storage,
             "faults": None if self.faults is None else self.faults.to_dict(),
+            "resilience": (
+                None if self.resilience is None else self.resilience.to_dict()
+            ),
         }
 
 
@@ -136,6 +150,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             storage=profile_by_name(spec.storage),
             settings=spec.settings,
             faults=spec.faults,
+            resilience=spec.resilience,
         )
     else:
         result = run_wordcount(
@@ -144,6 +159,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             storage=profile_by_name(spec.storage),
             settings=spec.settings,
             faults=spec.faults,
+            resilience=spec.resilience,
         )
     return summarize_run(result, spec.settings, kind=spec.kind, label=spec.label)
 

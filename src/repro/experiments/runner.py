@@ -80,6 +80,7 @@ def run_traffic(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     tracer: Optional[Tracer] = None,
     faults=None,
+    resilience=None,
 ) -> StreamJobResult:
     """Run the traffic-jam benchmark with standard settings."""
     job = build_traffic_job(
@@ -94,6 +95,10 @@ def run_traffic(
         from ..faults import inject_faults
 
         inject_faults(job, faults)
+    if resilience is not None:
+        from ..resilience import install_resilience
+
+        install_resilience(job, resilience)
     return job.run(settings.duration_s)
 
 
@@ -104,6 +109,7 @@ def run_wordcount(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     tracer: Optional[Tracer] = None,
     faults=None,
+    resilience=None,
 ) -> StreamJobResult:
     """Run the WordCount benchmark with standard settings."""
     job = build_wordcount_job(
@@ -117,4 +123,8 @@ def run_wordcount(
         from ..faults import inject_faults
 
         inject_faults(job, faults)
+    if resilience is not None:
+        from ..resilience import install_resilience
+
+        install_resilience(job, resilience)
     return job.run(settings.duration_s)

@@ -78,6 +78,10 @@ class RunSummary:
     fault_events: List[dict] = field(default_factory=list)
     #: :meth:`InvariantViolation.to_dict` records caught during the run.
     invariant_violations: List[dict] = field(default_factory=list)
+    #: :meth:`ResilienceController.report` digest (``{}`` = layer off):
+    #: guard mode windows, trips, shed counts, watchdog restarts,
+    #: upload retries/sheds.
+    resilience: Dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # derived views
@@ -154,6 +158,7 @@ def summarize_run(result, settings, kind: str = "traffic",
     plan = getattr(result.job, "fault_plan", None)
     injector = getattr(result.job, "fault_injector", None)
     checker = getattr(result.job, "invariant_checker", None)
+    controller = getattr(result.job, "resilience", None)
     return RunSummary(
         kind=kind,
         label=label,
@@ -189,4 +194,5 @@ def summarize_run(result, settings, kind: str = "traffic",
         fault_plan={} if plan is None else plan.to_dict(),
         fault_events=[] if injector is None else [dict(e) for e in injector.events],
         invariant_violations=[] if checker is None else checker.to_dicts(),
+        resilience={} if controller is None else controller.report(),
     )

@@ -1,5 +1,7 @@
 """Capacity dips: the shared mechanism behind slow-disk faults and the
-§6 disturbance injectors (:mod:`repro.sim.disturbances` delegates here).
+§6 capacity disturbances (GC pauses, DVFS throttling, co-location
+interference — describe them as :class:`repro.faults.FaultPlan`
+scenarios, or spawn a dip directly for one-off experiments).
 
 A dip scales a processor-sharing resource's capacity by a factor for a
 fixed window, then restores it.  Overlapping dips on the same resource

@@ -210,6 +210,7 @@ PRESET_PLANS = (
     "checkpoint-timeout",
     "backpressure",
     "chaos",
+    "combined",
 )
 
 
@@ -247,6 +248,19 @@ def preset_plan(name: str, at_s: float = 30.0, duration_s: float = 2.0,
                       node=ALL_NODES),
             FaultSpec(kind="kafka_backpressure", at_s=at_s + 28.0,
                       duration_s=4.0, factor=0.5),
+        )
+    elif name == "combined":
+        # sequential windows with recovery gaps between them — the soak
+        # harness asserts the tail returns to baseline inside each gap
+        faults = (
+            FaultSpec(kind="flush_stall", at_s=at_s,
+                      duration_s=max(duration_s, 4.0), node=ALL_NODES),
+            FaultSpec(kind="slow_disk", at_s=at_s + 20.0, duration_s=4.0,
+                      node=ALL_NODES, factor=0.3),
+            FaultSpec(kind="checkpoint_timeout", at_s=at_s + 40.0,
+                      duration_s=8.0, factor=0.5),
+            FaultSpec(kind="worker_crash", at_s=at_s + 60.0,
+                      duration_s=2.0, node=node),
         )
     else:
         raise ConfigurationError(

@@ -9,11 +9,6 @@ flows (:class:`~repro.sim.fluid.FluidFlow`) and bounded thread pools
 the LSM store are built on these five primitives.
 """
 
-from .disturbances import (
-    ColocationInterferenceInjector,
-    DvfsThrottleInjector,
-    GcPauseInjector,
-)
 from .events import Event, EventQueue, HIGH_PRIORITY, LOW_PRIORITY, NORMAL_PRIORITY
 from .fluid import FlowSegment, FluidFlow
 from .kernel import Simulator
@@ -23,9 +18,6 @@ from .rng import RngRegistry
 from .threadpool import JobPhase, SimJob, SimThreadPool
 
 __all__ = [
-    "ColocationInterferenceInjector",
-    "DvfsThrottleInjector",
-    "GcPauseInjector",
     "Event",
     "EventQueue",
     "HIGH_PRIORITY",

@@ -61,14 +61,22 @@ class StorageProfile:
 
     def degraded(self, factor: float) -> "StorageProfile":
         """A copy with bandwidth scaled by *factor* — the envelope of a
-        slow-disk episode (throttled device, failing media)."""
+        slow-disk episode (throttled device, failing media).
+
+        Nested calls compose: the bandwidth factors multiply, and the
+        name carries a single ``-degraded`` suffix rather than stacking
+        one per call.
+        """
         if not 0.0 < factor <= 1.0:
             raise ConfigurationError(
                 f"degradation factor must be in (0, 1], got {factor}"
             )
+        base = self.name
+        while base.endswith("-degraded"):
+            base = base[: -len("-degraded")]
         return replace(
             self,
-            name=f"{self.name}-degraded",
+            name=f"{base}-degraded",
             write_bandwidth_mb_s=self.write_bandwidth_mb_s * factor,
             read_bandwidth_mb_s=self.read_bandwidth_mb_s * factor,
         )

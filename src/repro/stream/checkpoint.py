@@ -99,6 +99,14 @@ class CheckpointCoordinator:
         #: Checkpoint timeout in effect for *future* triggers; starts as
         #: the config value and may be changed by fault injection.
         self.timeout_s: Optional[float] = config.timeout_s
+        #: Multiplier on the configured interval for *future* triggers.
+        #: 1.0 normally; the resilience guard stretches it (> 1.0) in
+        #: degraded mode to shed checkpoint-induced flush load.
+        self.interval_scale: float = 1.0
+        #: Optional hook replacing the direct HDFS upload of a completed
+        #: checkpoint: called with ``(record)``.  The resilience layer
+        #: installs a retry/deadline/circuit-breaker wrapper here.
+        self.uploader = None
         #: instance name -> (checkpoint_id, triggered_at, snapshot) of
         #: the newest *completed* checkpoint covering that instance.
         self._latest_snapshot: Dict[str, Tuple[int, float, dict]] = {}
@@ -114,7 +122,7 @@ class CheckpointCoordinator:
         yield max(0.0, self.config.first_at_s - self.sim.now)
         while True:
             self.trigger()
-            yield self.config.interval_s
+            yield self.config.interval_s * self.interval_scale
 
     # ------------------------------------------------------------------
 
@@ -226,7 +234,9 @@ class CheckpointCoordinator:
                 bytes=record.bytes,
                 flushes=record.flushes,
             )
-        if self.hdfs is not None:
+        if self.uploader is not None:
+            self.uploader(record)
+        elif self.hdfs is not None:
             self.hdfs.backup(record.checkpoint_id, record.bytes)
 
     # ------------------------------------------------------------------

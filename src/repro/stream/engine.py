@@ -67,9 +67,9 @@ class StreamJob:
         seed: int = 0,
         accounting_dt: float = 1.0,
         sample_real_state: bool = True,
-        disturbances: Optional[list] = None,
         tracer: Optional[Tracer] = None,
         faults=None,
+        resilience=None,
     ) -> None:
         if not stages:
             raise ConfigurationError("a job needs at least one stage")
@@ -199,14 +199,6 @@ class StreamJob:
         if initial_l0:
             self._preload_l0(initial_l0)
 
-        # --- §6 capacity disturbances (GC, DVFS, colocation) -------------
-        self.disturbances = list(disturbances or [])
-        for disturbance in self.disturbances:
-            for node in self.nodes:
-                disturbance.install(self.sim, node.cpu)
-            if hasattr(disturbance, "note_checkpoint"):
-                self.coordinator.on_trigger.append(disturbance.note_checkpoint)
-
         # --- fault injection (repro.faults) ------------------------------
         #: Set by repro.faults.inject_faults(); None on fault-free runs.
         self.fault_plan = None
@@ -216,6 +208,21 @@ class StreamJob:
             from ..faults import inject_faults
 
             inject_faults(self, faults)
+
+        # --- overload protection (repro.resilience) -----------------------
+        #: Admission controller over the source rate (a LoadShedder when
+        #: the resilience layer is installed, else None = pass-through).
+        self.admission = None
+        #: Last offered (pre-admission) source rate.
+        self.offered_rate = 0.0
+        #: Set by repro.resilience.install_resilience(); None when the
+        #: layer is disabled.
+        self.resilience = None
+        self.resilience_config = None
+        if resilience is not None:
+            from ..resilience import install_resilience
+
+            install_resilience(self, resilience)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -280,6 +287,14 @@ class StreamJob:
     # ------------------------------------------------------------------
 
     def set_source_rate(self, rate: float) -> None:
+        """Offer a new source rate; admission control may clamp it."""
+        self.offered_rate = rate
+        if self.admission is not None:
+            rate = self.admission.offer(rate)
+        self._apply_source_rate(rate)
+
+    def _apply_source_rate(self, rate: float) -> None:
+        """Push an (already admitted) source rate into the stage-0 flows."""
         stage0 = self.stages[0]
         hosting = stage0.nodes()
         for node_name in hosting:
@@ -358,6 +373,8 @@ class StreamJob:
                 flow.finalize(self.sim.now)
         if self.invariant_checker is not None:
             self.invariant_checker.finalize()
+        if self.resilience is not None:
+            self.resilience.finalize(self.sim.now)
         return StreamJobResult(self, duration)
 
 
@@ -526,6 +543,18 @@ class StreamJobResult:
         checker = self.job.invariant_checker
         return [] if checker is None else [v.to_dict() for v in checker.violations]
 
+    @property
+    def resilience_report(self) -> Optional[dict]:
+        """The resilience layer's digest, or ``None`` when disabled."""
+        controller = self.job.resilience
+        return None if controller is None else controller.report()
+
+    @property
+    def resilience_windows(self) -> List[tuple]:
+        """``(label, start, end)`` degraded/shedding spans (attribution)."""
+        controller = self.job.resilience
+        return [] if controller is None else list(controller.windows)
+
     def millibottleneck_report(self, start: float = 0.0,
                                end: Optional[float] = None, **kwargs):
         """Run the §3 millibottleneck detector over this run's trace
@@ -576,4 +605,6 @@ class StreamJobResult:
                 "events": self.fault_events,
                 "invariant_violations": self.invariant_violations,
             }
+        if self.job.resilience is not None:
+            summary["resilience"] = self.resilience_report
         return summary

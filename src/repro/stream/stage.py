@@ -87,6 +87,11 @@ class StageInstance:
         #: Set while the hosting worker is down (fault injection); fully
         #: freezes this instance's share of the stage's processing.
         self.crashed = False
+        #: Bumped by a watchdog-forced restart; in-flight flush jobs
+        #: carry the epoch they started under and their completion is
+        #: discarded when it no longer matches (the restart already
+        #: reset the instance's flush bookkeeping).
+        self.restart_epoch = 0
 
     @property
     def name(self) -> str:

@@ -135,8 +135,16 @@ class LSMStateBackend:
             # jobs share bandwidth through the device resource.
             phases.append(JobPhase(node.device, io_work, demand=node.device.capacity))
 
+        epoch = instance.restart_epoch
+
         def complete(_job: SimJob, flush: FlushJob = flush) -> None:
             store.finish_flush(flush, now=self.sim.now)
+            if instance.restart_epoch != epoch:
+                # the watchdog force-restarted this instance while the
+                # flush was in flight: its bookkeeping was already
+                # reset, and the flush's output was orphaned by the
+                # store restore — drop the completion
+                return
             instance.flush_in_flight -= 1
             if instance.flush_in_flight == 0:
                 instance.blocked = False

@@ -18,6 +18,14 @@ Event model (a subset of the Chrome trace-event phases):
 * **counters** (``ph="C"``): a sampled value — a store's L0 file count,
   CPU demand, windowed p99.9 latency.
 
+Events carry a category (``cat``): ``"flush"``/``"compaction"`` spans,
+``"checkpoint"`` lifecycle, per-node ``"cpu"`` counters, ``"fault"``
+injection instants, and ``"resilience"`` — every overload-protection
+action (``slo-trip``/``slo-recover``, ``shed-engage``/``shed-exhausted``/
+``shed-disengage``, ``upload-retry``/``upload-timeout``/``upload-shed``/
+``retry-exhausted``/``breaker-open``, ``watchdog-pool-restart``/
+``watchdog-worker-restart``) as instants on the acting component's tid.
+
 Timestamps are simulation seconds.  Export formats:
 
 * **JSONL** — one event object per line, headed by a schema record;

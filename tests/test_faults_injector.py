@@ -212,6 +212,60 @@ def test_halt_on_violation_aborts_the_simulation():
         del INVARIANTS["test-always-fails"]
 
 
+def test_checkpoint_timeout_during_kafka_backpressure():
+    """Interaction: a checkpoint-timeout window nested inside a Kafka
+    backpressure window.  Both faults must apply and clear independently
+    — the source rate is restored, the coordinator's timeout reverts,
+    and later checkpoints complete — with exactly-once intact."""
+    plan = plan_of(
+        FaultSpec(kind="kafka_backpressure", at_s=8.0, duration_s=12.0,
+                  factor=0.3),
+        FaultSpec(kind="checkpoint_timeout", at_s=10.0, duration_s=6.0,
+                  factor=0.001),
+    )
+    job = small_job(faults=plan)
+    job.run(DURATION)
+    kinds = sorted(e["kind"] for e in job.fault_injector.events)
+    assert kinds == ["checkpoint_timeout", "kafka_backpressure"]
+    # checkpoints triggered while throttled *and* timing out aborted...
+    assert {r.abort_reason for r in job.coordinator.aborted} == {"timeout"}
+    # ...but both windows unwound cleanly: timeout back to the config
+    # default, source back to the steady rate, later checkpoints pass
+    assert job.coordinator.timeout_s is None
+    stage0 = job.stages[0]
+    total_rate = sum(flow.arrival_rate for flow in stage0.flows.values())
+    assert total_rate == pytest.approx(job.source.steady_rate())
+    assert any(
+        record.completed_at > 20.0 for record in job.coordinator.completed
+    )
+    assert not job.invariant_checker.violations
+
+
+def test_crash_inside_flush_stall_window():
+    """Interaction: a worker crashes while its flush pool is stalled.
+    The crash restarts the pool (clearing the stall's pause early); the
+    stall's late resume must be absorbed, not unbalance the pool, and
+    recovery must still rewind to the last completed checkpoint."""
+    plan = plan_of(
+        FaultSpec(kind="flush_stall", at_s=13.0, duration_s=6.0, node=0),
+        FaultSpec(kind="worker_crash", at_s=15.0, duration_s=1.0, node=0),
+    )
+    job = small_job(faults=plan)
+    job.run(DURATION)
+    crash = next(
+        e for e in job.fault_injector.events if e["kind"] == "worker_crash"
+    )
+    assert crash["restores"]
+    assert crash["rewound_to_s"] == pytest.approx(12.0)
+    # after both windows the pool is running: neither the stall's pause
+    # nor the crash's pause survived, and the stall's resume at t=19
+    # (after the restart) was forgiven rather than double-resumed
+    pool = job.nodes[0].flush_pool
+    assert not pool.paused
+    assert not job.nodes[0].crashed
+    assert not job.invariant_checker.violations
+
+
 def test_identical_seed_and_plan_reproduce_event_for_event():
     plan = plan_of(
         FaultSpec(kind="worker_crash", at_s=13.0, duration_s=1.5, node=0),

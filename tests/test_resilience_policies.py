@@ -1,0 +1,245 @@
+"""Unit tests for the resilience primitives: retry, deadline, breaker,
+config, the error hierarchy, and the Kafka commit wrapper."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    OverloadError,
+    ReproError,
+    ResilienceError,
+    RetryExhaustedError,
+    WatchdogError,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResilienceConfig,
+    ResilientKafkaCommitter,
+    RetryPolicy,
+)
+from repro.serialize import roundtrip
+
+
+# ----------------------------------------------------------------------
+# error hierarchy
+# ----------------------------------------------------------------------
+
+
+def test_resilience_errors_are_repro_errors():
+    for exc in (OverloadError, RetryExhaustedError, WatchdogError):
+        assert issubclass(exc, ResilienceError)
+        assert issubclass(exc, ReproError)
+    assert not issubclass(ConfigurationError, ResilienceError)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+
+
+def test_retry_delays_grow_and_cap():
+    policy = RetryPolicy(max_attempts=6, base_delay_s=0.25, multiplier=2.0,
+                         max_delay_s=1.0, jitter=0.0)
+    assert [policy.delay_s(n) for n in (1, 2, 3, 4, 5)] == [
+        0.25, 0.5, 1.0, 1.0, 1.0
+    ]
+
+
+def test_retry_jitter_is_bounded_and_seeded():
+    policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter=0.2)
+    delays = [policy.delay_s(1, random.Random(7)) for _ in range(5)]
+    assert all(0.8 <= d <= 1.2 for d in delays)
+    # same seed, same delay: jitter draws only from the supplied rng
+    assert len(set(delays)) == 1
+    assert policy.delay_s(1) == 1.0  # no rng -> deterministic midpoint
+
+
+def test_retry_call_succeeds_after_transient_failures():
+    attempts = []
+    slept = []
+    noted = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise RuntimeError("transient")
+        return "ok"
+
+    policy = RetryPolicy(max_attempts=4, base_delay_s=0.1, multiplier=2.0,
+                         jitter=0.0)
+    result = policy.call(flaky, sleep=slept.append,
+                         on_retry=lambda a, d, e: noted.append((a, d)))
+    assert result == "ok"
+    assert len(attempts) == 3
+    assert slept == [pytest.approx(0.1), pytest.approx(0.2)]
+    assert noted == [(1, pytest.approx(0.1)), (2, pytest.approx(0.2))]
+
+
+def test_retry_call_exhaustion_raises_with_cause():
+    policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+    calls = []
+
+    def always_fails():
+        calls.append(1)
+        raise ValueError("boom")
+
+    with pytest.raises(RetryExhaustedError) as info:
+        policy.call(always_fails)
+    assert len(calls) == 3
+    assert isinstance(info.value.__cause__, ValueError)
+
+
+def test_retry_validation():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy().delay_s(0)
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+
+
+def test_deadline_arithmetic():
+    deadline = Deadline.after(10.0, 2.5)
+    assert deadline.at == 12.5
+    assert deadline.remaining(11.0) == pytest.approx(1.5)
+    assert not deadline.expired(12.4)
+    assert deadline.expired(12.5)
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+
+
+def test_breaker_trips_after_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0)
+    for t in (1.0, 2.0):
+        breaker.record_failure(t)
+        assert breaker.state == "closed"
+    # a success in between resets the consecutive count
+    breaker.record_success(2.5)
+    breaker.record_failure(3.0)
+    breaker.record_failure(4.0)
+    assert breaker.state == "closed"
+    breaker.record_failure(5.0)
+    assert breaker.state == "open"
+    assert breaker.trips == 1
+    assert not breaker.allow(6.0)
+    assert breaker.rejected == 1
+
+
+def test_breaker_half_open_probe_closes_on_success():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+    breaker.record_failure(0.0)
+    assert breaker.state == "open"
+    assert breaker.allow(10.0)  # reset timeout elapsed -> half-open probe
+    assert breaker.state == "half-open"
+    assert not breaker.allow(10.1)  # only one probe admitted
+    breaker.record_success(10.5)
+    assert breaker.state == "closed"
+    assert breaker.allow(10.6)
+
+
+def test_breaker_half_open_probe_reopens_on_failure():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+    breaker.record_failure(0.0)
+    assert breaker.allow(10.0)
+    breaker.record_failure(10.5)
+    assert breaker.state == "open"
+    assert breaker.trips == 2
+    assert not breaker.allow(15.0)  # reset clock restarted at the re-trip
+    assert [s for _t, s in breaker.transitions] == [
+        "open", "half-open", "open"
+    ]
+
+
+def test_breaker_validation():
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(reset_timeout_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# ResilientKafkaCommitter
+# ----------------------------------------------------------------------
+
+
+def test_committer_retries_then_raises_and_feeds_breaker():
+    failures = {"n": 0}
+
+    def commit(*args):
+        failures["n"] += 1
+        raise RuntimeError("broker unavailable")
+
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=100.0)
+    committer = ResilientKafkaCommitter(
+        commit, RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0),
+        breaker=breaker,
+    )
+    with pytest.raises(RetryExhaustedError):
+        committer.commit("g", "t", 0, 10)
+    assert failures["n"] == 2
+    assert committer.retries == 1
+    assert committer.failures == 1
+    # the breaker is now open: the next commit is rejected outright
+    with pytest.raises(OverloadError):
+        committer.commit("g", "t", 0, 11)
+    assert failures["n"] == 2
+
+
+def test_committer_passes_through_on_success():
+    log = []
+    committer = ResilientKafkaCommitter(
+        lambda *args: log.append(args), RetryPolicy(max_attempts=2)
+    )
+    committer.commit("g", "t", 1, 42)
+    assert log == [("g", "t", 1, 42)]
+    assert committer.commits == 1
+    assert committer.retries == 0
+
+
+# ----------------------------------------------------------------------
+# ResilienceConfig
+# ----------------------------------------------------------------------
+
+
+def test_config_roundtrips_through_serialize_registry():
+    config = ResilienceConfig(latency_slo_s=2.0, shed_rate_factor=0.5)
+    assert roundtrip(config) == config
+    assert roundtrip(RetryPolicy(max_attempts=5)) == RetryPolicy(max_attempts=5)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(latency_slo_s=0.0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(shed_rate_factor=1.5)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(recovery_factor=0.0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(compaction_threads_degraded=0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(retry_jitter=1.0)
+
+
+def test_config_builds_matching_policy_objects():
+    config = ResilienceConfig(retry_attempts=7, retry_base_delay_s=0.5,
+                              breaker_failures=5, breaker_reset_s=60.0)
+    policy = config.retry_policy()
+    assert policy.max_attempts == 7
+    assert policy.base_delay_s == 0.5
+    breaker = config.circuit_breaker("uploads")
+    assert breaker.failure_threshold == 5
+    assert breaker.reset_timeout_s == 60.0
+    assert breaker.name == "uploads"

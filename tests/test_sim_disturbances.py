@@ -1,16 +1,17 @@
-"""Unit tests for the §6 capacity-disturbance injectors."""
+"""Unit tests for the shared capacity-dip mechanism (§6 disturbances).
+
+The deprecated ``repro.sim.disturbances`` injector classes are gone;
+GC pauses, DVFS throttling and co-location interference are expressed
+as :class:`repro.faults.FaultPlan` scenarios or by spawning
+:func:`repro.faults.capacity.capacity_dip` directly.  These tests keep
+the behavioural guarantees the injectors used to carry.
+"""
 
 import pytest
 
-from repro.errors import ConfigurationError
-from repro.sim import (
-    ColocationInterferenceInjector,
-    DvfsThrottleInjector,
-    FluidFlow,
-    GcPauseInjector,
-    ProcessorSharingResource,
-    Simulator,
-)
+from repro.faults.capacity import capacity_dip
+from repro.sim import FluidFlow, ProcessorSharingResource, Simulator
+from repro.sim.process import spawn
 
 
 def loaded_node(capacity=16.0, rate=30000.0):
@@ -22,24 +23,35 @@ def loaded_node(capacity=16.0, rate=30000.0):
     return sim, cpu, flow
 
 
-def test_gc_pause_stops_the_world_and_restores_capacity():
+def test_full_stop_queues_arrivals_and_restores_capacity():
     sim, cpu, flow = loaded_node()
-    gc = GcPauseInjector(interval_s=10.0, pause_s=0.3, jitter=0.0)
-    gc.install(sim, cpu)
+    windows = []
+
+    def schedule():
+        yield 5.0
+        for _ in range(3):  # stop-the-world pauses at 5, 15, 25
+            spawn(sim, capacity_dip(sim, cpu, 0.0, 0.3, windows=windows))
+            yield 10.0
+
+    spawn(sim, schedule())
     sim.run_for(26.0)
     flow.finalize(sim.now)
-    assert len(gc.windows) == 3  # at 5, 15, 25 (first_at=5)
-    for _name, start, end in gc.windows:
+    assert len(windows) == 3
+    for _name, start, end in windows:
         assert end - start == pytest.approx(0.3, abs=1e-6)
     # 0.3 s outage at 30 000 msg/s -> ~9 000 queued
     assert max(s.queue for s in flow.segments) == pytest.approx(9000.0, rel=0.05)
     assert cpu.capacity == 16.0  # restored
 
 
-def test_gc_pause_causes_latency_spike():
+def test_full_stop_causes_latency_spike():
     sim, cpu, flow = loaded_node()
-    gc = GcPauseInjector(interval_s=30.0, pause_s=0.4, jitter=0.0)
-    gc.install(sim, cpu)
+
+    def schedule():
+        yield 5.0
+        spawn(sim, capacity_dip(sim, cpu, 0.0, 0.4))
+
+    spawn(sim, schedule())
     sim.run_for(20.0)
     flow.finalize(sim.now)
     from repro.metrics import latency_from_segments
@@ -49,37 +61,23 @@ def test_gc_pause_causes_latency_spike():
     assert latency[times < 4.5].max() < 0.05  # quiet before the pause
 
 
-def test_dvfs_reduces_capacity_by_factor():
+def test_partial_dip_reduces_capacity_by_factor():
     sim, cpu, _flow = loaded_node()
-    dvfs = DvfsThrottleInjector(mean_interval_s=5.0, duration_s=0.5,
-                                frequency_factor=0.6)
+    windows = []
     observed = []
-    dvfs.install(sim, cpu)
-    sim.schedule(3.25, lambda: observed.append(cpu.capacity))  # during 1st dip
+    spawn(sim, capacity_dip(sim, cpu, 0.6, 0.5, windows=windows), delay=3.0)
+    sim.schedule(3.25, lambda: observed.append(cpu.capacity))  # during the dip
     sim.run_for(10.0)
     assert observed == [pytest.approx(16.0 * 0.6)]
     assert cpu.capacity == 16.0
-    assert len(dvfs.windows) >= 1
-
-
-def test_colocation_steals_share():
-    sim, cpu, _flow = loaded_node()
-    coloc = ColocationInterferenceInjector(steal_fraction=0.25)
-    coloc.install(sim, cpu)
-    sim.run_for(60.0)
-    assert len(coloc.windows) >= 1
-    assert cpu.capacity in (16.0, pytest.approx(12.0))
+    assert windows == [("n", 3.0, pytest.approx(3.5))]
 
 
 def test_overlapping_dips_do_not_compound():
     sim = Simulator(seed=1)
     cpu = ProcessorSharingResource(sim, "n", 16.0)
-    injector = DvfsThrottleInjector(mean_interval_s=100.0, duration_s=1.0,
-                                    frequency_factor=0.5)
-    from repro.sim.process import spawn
-
-    spawn(sim, injector._dip(sim, cpu, 0.5, 1.0))
-    spawn(sim, injector._dip(sim, cpu, 0.5, 1.0), delay=0.5)
+    spawn(sim, capacity_dip(sim, cpu, 0.5, 1.0))
+    spawn(sim, capacity_dip(sim, cpu, 0.5, 1.0), delay=0.5)
     observed = []
     sim.schedule(0.75, lambda: observed.append(cpu.capacity))
     sim.run()
@@ -87,44 +85,28 @@ def test_overlapping_dips_do_not_compound():
     assert cpu.capacity == 16.0
 
 
-def test_overlap_across_different_injectors_restores_capacity():
-    """Regression: a GC pause overlapping a DVFS window must not save
+def test_overlap_of_different_factors_restores_capacity():
+    """Regression: a full stop overlapping a partial dip must not save
     the already-dipped capacity as 'undisturbed' (which would ratchet
     the node down permanently)."""
     sim = Simulator(seed=1)
     cpu = ProcessorSharingResource(sim, "n", 16.0)
-    dvfs = DvfsThrottleInjector(mean_interval_s=100.0, duration_s=2.0,
-                                frequency_factor=0.5)
-    gc = GcPauseInjector(interval_s=100.0, pause_s=0.5)
-    from repro.sim.process import spawn
-
-    spawn(sim, dvfs._dip(sim, cpu, 0.5, 2.0))            # 0..2 at 8 cores
-    spawn(sim, gc._dip(sim, cpu, 0.0, 0.5), delay=1.0)   # 1..1.5 stopped
+    spawn(sim, capacity_dip(sim, cpu, 0.5, 2.0))             # 0..2 at 8 cores
+    spawn(sim, capacity_dip(sim, cpu, 0.0, 0.5), delay=1.0)  # 1..1.5 stopped
     observed = {}
-    sim.schedule(1.25, lambda: observed.setdefault("during-gc", cpu.capacity))
-    sim.schedule(1.75, lambda: observed.setdefault("after-gc", cpu.capacity))
+    sim.schedule(1.25, lambda: observed.setdefault("during-stop", cpu.capacity))
+    sim.schedule(1.75, lambda: observed.setdefault("after-stop", cpu.capacity))
     sim.run()
-    assert observed["during-gc"] < 0.1
+    assert observed["during-stop"] < 0.1
     assert cpu.capacity == 16.0  # fully restored, not ratcheted to 8
 
 
-def test_injector_validation():
-    with pytest.raises(ConfigurationError):
-        GcPauseInjector(interval_s=0.0)
-    with pytest.raises(ConfigurationError):
-        GcPauseInjector(jitter=1.5)
-    with pytest.raises(ConfigurationError):
-        DvfsThrottleInjector(frequency_factor=1.5)
-    with pytest.raises(ConfigurationError):
-        ColocationInterferenceInjector(steal_fraction=0.0)
-
-
-def test_engine_integration_gc_sees_checkpoints():
+def test_engine_integration_dip_spikes_latency():
+    """A mid-run dip on a live job's node queues work and shows up in the
+    end-to-end latency, through the ordinary StreamJob path."""
     from repro.config import CheckpointConfig, ClusterConfig, CostModel
     from repro.stream import ConstantSource, StageSpec, StreamJob
 
-    gc = GcPauseInjector(interval_s=8.0, pause_s=0.2, jitter=0.0,
-                         checkpoint_bias=0.5)
     job = StreamJob(
         stages=[StageSpec("s", parallelism=2, state_entry_bytes=100.0,
                           distinct_keys=1000)],
@@ -132,9 +114,12 @@ def test_engine_integration_gc_sees_checkpoints():
         cluster=ClusterConfig(num_nodes=1, cores_per_node=4),
         checkpoint=CheckpointConfig(interval_s=4.0, first_at_s=4.0),
         cost=CostModel(cpu_seconds_per_message=0.0002),
-        disturbances=[gc],
         seed=2,
     )
-    job.run(20.0)
-    assert gc._checkpoint_times  # wired to the coordinator
-    assert len(gc.windows) >= 1
+    windows = []
+    spawn(job.sim, capacity_dip(job.sim, job.nodes[0].cpu, 0.0, 0.3,
+                                windows=windows), delay=10.0)
+    result = job.run(20.0)
+    assert windows == [(job.nodes[0].cpu.name, 10.0, pytest.approx(10.3))]
+    _times, latency, _w = result.end_to_end_latency(0.0, 20.0)
+    assert latency.max() > 0.25

@@ -63,3 +63,24 @@ def test_hdfs_zero_bytes_completes_immediately():
     hdfs.backup(9, 0)
     assert hdfs.completed[0][0] == 9
     assert hdfs.recovery_point_lag() == 0.0
+
+
+def test_degraded_composes_without_stacking_the_name():
+    once = NVME_SSD.degraded(0.5)
+    assert once.name == "nvme-degraded"
+    assert once.write_bandwidth_mb_s == pytest.approx(
+        NVME_SSD.write_bandwidth_mb_s * 0.5
+    )
+    twice = once.degraded(0.5)
+    # bandwidth factors multiply; the suffix appears exactly once
+    assert twice.name == "nvme-degraded"
+    assert twice.write_bandwidth_mb_s == pytest.approx(
+        NVME_SSD.write_bandwidth_mb_s * 0.25
+    )
+    assert twice.read_bandwidth_mb_s == pytest.approx(
+        NVME_SSD.read_bandwidth_mb_s * 0.25
+    )
+    with pytest.raises(ConfigurationError):
+        NVME_SSD.degraded(0.0)
+    with pytest.raises(ConfigurationError):
+        NVME_SSD.degraded(1.5)

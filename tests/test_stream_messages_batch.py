@@ -3,7 +3,8 @@
 import pytest
 
 from repro.config import CheckpointConfig, ClusterConfig, CostModel
-from repro.sim import GcPauseInjector
+from repro.faults.capacity import capacity_dip
+from repro.sim.process import spawn
 from repro.stream import ConstantSource, Record, RecordBatch, StageSpec, StreamJob
 
 
@@ -19,8 +20,6 @@ def test_record_batch_accumulates():
 def test_pipeline_outage_is_visible_end_to_end():
     """A full-node pause must appear in the composed two-stage latency
     with roughly the pause duration (plus drain)."""
-    gc = GcPauseInjector(interval_s=1000.0, pause_s=0.5, jitter=0.0,
-                         first_at_s=10.0)
     job = StreamJob(
         stages=[
             StageSpec("a", parallelism=4, state_entry_bytes=100.0,
@@ -33,9 +32,10 @@ def test_pipeline_outage_is_visible_end_to_end():
         checkpoint=CheckpointConfig(interval_s=100.0, first_at_s=100.0),
         cost=CostModel(cpu_seconds_per_message=0.0002,
                        base_latency_seconds=0.0),
-        disturbances=[gc],
         seed=2,
     )
+    spawn(job.sim, capacity_dip(job.sim, job.nodes[0].cpu, 0.0, 0.5),
+          delay=10.0)
     result = job.run(30.0)
     times, latency, _w = result.end_to_end_latency(start=2.0, end=30.0)
     before = latency[(times > 5.0) & (times < 9.5)]
