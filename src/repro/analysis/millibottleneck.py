@@ -99,7 +99,7 @@ class SpikeAttribution:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "SpikeAttribution":
+    def from_dict(cls, data: dict) -> SpikeAttribution:
         data = dict(data)
         data["window"] = tuple(data["window"])
         data.setdefault("faults", [])
@@ -150,7 +150,7 @@ class MillibottleneckReport:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "MillibottleneckReport":
+    def from_dict(cls, data: dict) -> MillibottleneckReport:
         return cls(
             window_s=data["window_s"],
             threshold_s=data["threshold_s"],

@@ -115,7 +115,7 @@ class OverlapReport:
     as_dict = to_dict
 
     @classmethod
-    def from_dict(cls, data: dict) -> "OverlapReport":
+    def from_dict(cls, data: dict) -> OverlapReport:
         report = cls(tuple(data["window"]))
         report.flush_compaction_overlap_s = data.get("flush_compaction_overlap_s", 0.0)
         report.flush_busy_s = data.get("flush_busy_s", 0.0)

@@ -73,6 +73,18 @@ from .resilience import (
     install_resilience,
 )
 from .resilience.soak import SoakReport, run_soak
+from .sanitize import (
+    Finding,
+    OrderingReport,
+    RaceReport,
+    SanitizeReport,
+    check_ordering,
+    detect_races,
+    findings_json,
+    lint_paths,
+    render_findings,
+    sanitize_experiment,
+)
 from .serialize import from_dict, to_dict
 from .sim import Simulator
 from .storage.backend import HDD, NVME_SSD, TMPFS, StorageProfile
@@ -169,4 +181,39 @@ __all__ = [
     # serialization
     "to_dict",
     "from_dict",
+    # static analysis & sanitizers
+    "lint",
+    "sanitize",
+    "lint_paths",
+    "render_findings",
+    "findings_json",
+    "detect_races",
+    "check_ordering",
+    "sanitize_experiment",
+    "Finding",
+    "RaceReport",
+    "OrderingReport",
+    "SanitizeReport",
 ]
+
+
+def lint(*paths):
+    """Determinism-lint *paths* (default: this installed package).
+
+    Returns the list of :class:`~repro.sanitize.Finding` — empty means
+    clean.  Equivalent to the ``repro lint`` CLI subcommand.
+    """
+    from pathlib import Path
+
+    targets = [Path(p) for p in paths]
+    if not targets:
+        targets = [Path(__file__).resolve().parent]
+    return lint_paths(targets)
+
+
+def sanitize(**kwargs) -> SanitizeReport:
+    """Run the runtime sanitizers (race detector + ordering checks) on
+    one benchmark; see :func:`repro.sanitize.sanitize_experiment` for
+    the keyword arguments.  Equivalent to ``repro sanitize``.
+    """
+    return sanitize_experiment(**kwargs)

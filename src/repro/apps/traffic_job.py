@@ -78,6 +78,7 @@ def build_traffic_job(
     seed: int = 0,
     cost: Optional[CostModel] = None,
     tracer: Optional[Tracer] = None,
+    tie_break: str = "fifo",
 ) -> StreamJob:
     """Assemble the traffic-jam job with the paper's deployment shape."""
     if isinstance(initial_l0, str):
@@ -100,4 +101,5 @@ def build_traffic_job(
         tracer=tracer,
         initial_l0=initial_l0,
         seed=seed,
+        tie_break=tie_break,
     )

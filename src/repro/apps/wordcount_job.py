@@ -51,6 +51,7 @@ def build_wordcount_job(
     seed: int = 0,
     cost: Optional[CostModel] = None,
     tracer: Optional[Tracer] = None,
+    tie_break: str = "fifo",
 ) -> StreamJob:
     """Assemble the single-node WordCount job.
 
@@ -73,4 +74,5 @@ def build_wordcount_job(
         tracer=tracer,
         initial_l0={"count": 0},
         seed=seed,
+        tie_break=tie_break,
     )

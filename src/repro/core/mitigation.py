@@ -60,18 +60,18 @@ class MitigationPlan:
     # ------------------------------------------------------------------
 
     @classmethod
-    def baseline(cls) -> "MitigationPlan":
+    def baseline(cls) -> MitigationPlan:
         """The unmitigated system: static trigger, no delay, 16/16."""
         return cls()
 
     @classmethod
-    def paper_solution(cls) -> "MitigationPlan":
+    def paper_solution(cls) -> MitigationPlan:
         """§5's evaluated solution: randomized trigger + 1 s delay,
         default thread pools (for a fair comparison, as in the paper)."""
         return cls(randomize_compaction_trigger=True, compaction_delay_s=1.0)
 
     @classmethod
-    def full(cls) -> "MitigationPlan":
+    def full(cls) -> MitigationPlan:
         """Everything on, including §4.2's recommended pool sizes for a
         16-core node (flush = cores = 16, compaction = knee = 4)."""
         return cls(

@@ -14,6 +14,8 @@ Usage::
     python -m repro compare                # baseline vs solution summary
     python -m repro cache info             # inspect the result cache
     python -m repro cache clear
+    python -m repro lint src/repro         # determinism lint (exit 1 on findings)
+    python -m repro sanitize --duration 24 # race + ordering sanitizers
 
 The output is plain text (tables and ASCII timelines); experiment
 functions are resolved from :mod:`repro.experiments.figures`.  Sweep
@@ -180,6 +182,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism lint: flag wall-clock reads, unseeded "
+             "RNG, unordered iteration, mutable defaults and module "
+             "singletons (exit 1 on findings)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as a JSON report")
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="runtime determinism sanitizers: run a benchmark twice with "
+             "perturbed same-timestamp tie-breaking and diff state "
+             "digests, then check cache-key/summary order independence "
+             "(exit 1 on divergence)",
+    )
+    sanitize.add_argument("--kind", choices=("traffic", "wordcount"),
+                          default="wordcount")
+    sanitize.add_argument("--duration", type=float, default=24.0,
+                          help="simulated seconds per probe run (default 24)")
+    sanitize.add_argument("--window", type=float, default=2.0,
+                          help="digest window, seconds (default 2)")
+    sanitize.add_argument("--seed", type=int, default=1)
+    sanitize.add_argument("--interval", type=float, default=8.0,
+                          help="checkpoint interval, seconds (default 8)")
+    sanitize.add_argument("--storage", choices=("tmpfs", "nvme"),
+                          default="tmpfs")
+    sanitize.add_argument("--perturbations", type=int, default=8,
+                          help="dict-order shuffles for the ordering "
+                               "checks (default 8)")
+    sanitize.add_argument("--json", action="store_true",
+                          help="dump the SanitizeReport as JSON")
     return parser
 
 
@@ -411,6 +449,50 @@ def _soak_command(args) -> int:
     return 1
 
 
+def _lint_command(args) -> int:
+    """Lint the given paths (default: this installed package)."""
+    from pathlib import Path
+
+    from ..sanitize import findings_json, lint_paths, render_findings
+
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        paths = [Path(__file__).resolve().parents[1]]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths)
+    if args.json:
+        json.dump(findings_json(findings), sys.stdout, indent=2)
+        print()
+    else:
+        print(render_findings(findings))
+    return 1 if findings else 0
+
+
+def _sanitize_command(args) -> int:
+    """Run the runtime sanitizers on one benchmark; exit 1 on FAIL."""
+    from ..sanitize import sanitize_experiment
+
+    report = sanitize_experiment(
+        kind=args.kind,
+        duration_s=args.duration,
+        window_s=args.window,
+        seed=args.seed,
+        interval_s=args.interval,
+        storage=args.storage,
+        perturbations=args.perturbations,
+    )
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2, default=str)
+        print()
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 class _cache_override:
     """Temporarily force ``REPRO_CACHE=off`` for ``--no-cache`` runs."""
 
@@ -418,7 +500,7 @@ class _cache_override:
         self.disable = disable
         self._saved: Optional[str] = None
 
-    def __enter__(self) -> "_cache_override":
+    def __enter__(self) -> _cache_override:
         if self.disable:
             self._saved = os.environ.get(CACHE_ENV)
             os.environ[CACHE_ENV] = "off"
@@ -477,6 +559,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "soak":
         return _soak_command(args)
+
+    if args.command == "lint":
+        return _lint_command(args)
+
+    if args.command == "sanitize":
+        return _sanitize_command(args)
 
     if args.command == "run" and getattr(args, "faults", None):
         return _faults_command(args)

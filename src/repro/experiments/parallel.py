@@ -26,6 +26,7 @@ Environment toggles::
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -37,6 +38,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from .. import __version__
 from ..compat import keyword_only
+from ..serialize import canonical_json
 from ..core.mitigation import MitigationPlan
 from ..errors import ConfigurationError
 from ..faults.plan import FaultPlan
@@ -58,6 +60,7 @@ __all__ = [
     "cache_enabled",
     "cache_dir",
     "spec_cache_key",
+    "cache_key_from_dict",
     "cache_load",
     "cache_store",
     "clear_cache",
@@ -116,7 +119,7 @@ class RunSpec:
 
             object.__setattr__(self, "resilience", DEFAULT_RESILIENCE)
 
-    def with_seed(self, seed: int) -> "RunSpec":
+    def with_seed(self, seed: int) -> RunSpec:
         """A copy of this spec running under a different seed."""
         return replace(self, settings=replace(self.settings, seed=seed))
 
@@ -190,14 +193,23 @@ def cache_dir(directory: Optional[Union[str, Path]] = None) -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
 
 
-def spec_cache_key(spec: RunSpec, version: Optional[str] = None) -> str:
-    """Content address of a spec: SHA-256 over canonical JSON + version."""
+def cache_key_from_dict(key_dict: dict, version: Optional[str] = None) -> str:
+    """Content address of a spec's :meth:`RunSpec.key_dict` payload.
+
+    The hash goes through :func:`repro.serialize.canonical_json`, so it
+    is independent of dict insertion order — the order-sanitizer
+    (:mod:`repro.sanitize.ordering`) checks exactly this property.
+    """
     payload = {
-        "spec": spec.key_dict(),
+        "spec": key_dict,
         "version": _PACKAGE_VERSION if version is None else version,
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def spec_cache_key(spec: RunSpec, version: Optional[str] = None) -> str:
+    """Content address of a spec: SHA-256 over canonical JSON + version."""
+    return cache_key_from_dict(spec.key_dict(), version=version)
 
 
 def cache_load(
@@ -206,7 +218,7 @@ def cache_load(
     """Fetch a cached summary for *spec*, or ``None`` on a miss."""
     path = cache_dir(directory) / f"{spec_cache_key(spec)}.json"
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             stored = json.load(handle)
         return RunSummary.from_dict(stored["summary"])
     except (OSError, KeyError, TypeError, ValueError):
@@ -242,12 +254,10 @@ def clear_cache(directory: Optional[Union[str, Path]] = None) -> int:
     root = cache_dir(directory)
     removed = 0
     if root.is_dir():
-        for entry in root.glob("*.json"):
-            try:
+        for entry in sorted(root.glob("*.json")):
+            with contextlib.suppress(OSError):
                 entry.unlink()
                 removed += 1
-            except OSError:
-                pass
     return removed
 
 

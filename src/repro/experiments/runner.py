@@ -43,11 +43,11 @@ class ExperimentSettings:
     def measure_span(self):
         return self.warmup_s, self.duration_s
 
-    def with_seed(self, seed: int) -> "ExperimentSettings":
+    def with_seed(self, seed: int) -> ExperimentSettings:
         """A copy running under a different seed (multi-seed sweeps)."""
         return replace(self, seed=seed)
 
-    def seed_series(self, count: int, first: Optional[int] = None) -> List["ExperimentSettings"]:
+    def seed_series(self, count: int, first: Optional[int] = None) -> List[ExperimentSettings]:
         """*count* consecutive-seed copies, for statistical sweeps."""
         base = self.seed if first is None else first
         return [self.with_seed(base + i) for i in range(count)]
@@ -60,7 +60,7 @@ class ExperimentSettings:
     as_dict = to_dict
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ExperimentSettings":
+    def from_dict(cls, data: dict) -> ExperimentSettings:
         names = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in data.items() if k in names})
 
@@ -81,6 +81,7 @@ def run_traffic(
     tracer: Optional[Tracer] = None,
     faults=None,
     resilience=None,
+    tie_break: str = "fifo",
 ) -> StreamJobResult:
     """Run the traffic-jam benchmark with standard settings."""
     job = build_traffic_job(
@@ -90,6 +91,7 @@ def run_traffic(
         initial_l0=initial_l0,
         seed=settings.seed,
         tracer=tracer if tracer is not None else settings.make_tracer(),
+        tie_break=tie_break,
     )
     if faults is not None:
         from ..faults import inject_faults
@@ -110,6 +112,7 @@ def run_wordcount(
     tracer: Optional[Tracer] = None,
     faults=None,
     resilience=None,
+    tie_break: str = "fifo",
 ) -> StreamJobResult:
     """Run the WordCount benchmark with standard settings."""
     job = build_wordcount_job(
@@ -118,6 +121,7 @@ def run_wordcount(
         storage=storage,
         seed=settings.seed,
         tracer=tracer if tracer is not None else settings.make_tracer(),
+        tie_break=tie_break,
     )
     if faults is not None:
         from ..faults import inject_faults

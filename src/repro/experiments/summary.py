@@ -112,7 +112,7 @@ class RunSummary:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RunSummary":
+    def from_dict(cls, data: dict) -> RunSummary:
         data = dict(data)
         # JSON object keys are strings; restore the checkpoint indices.
         alignment = data.get("per_checkpoint_compactions") or {}

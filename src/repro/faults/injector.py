@@ -63,7 +63,7 @@ class FaultInjector:
     # scheduling
     # ------------------------------------------------------------------
 
-    def install(self) -> "FaultInjector":
+    def install(self) -> FaultInjector:
         if self._installed:
             raise SimulationError("fault injector already installed")
         self._installed = True

@@ -64,7 +64,7 @@ class InvariantViolation:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "InvariantViolation":
+    def from_dict(cls, data: dict) -> InvariantViolation:
         return cls(
             invariant=data["invariant"],
             time=data["time"],
@@ -116,7 +116,7 @@ class InvariantChecker:
         #: flow name -> last observed cumulative served count.
         self._watermarks: Dict[str, float] = {}
 
-    def install(self, job) -> "InvariantChecker":
+    def install(self, job) -> InvariantChecker:
         if self.job is not None:
             raise SimulationError("invariant checker is already installed")
         self.job = job

@@ -125,7 +125,7 @@ class FaultPlan:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FaultPlan":
+    def from_dict(cls, data: dict) -> FaultPlan:
         return cls(name=data.get("name", "plan"),
                    faults=tuple(data.get("faults") or ()))
 
@@ -137,7 +137,7 @@ class FaultPlan:
         max_faults: int = 3,
         nodes: int = 2,
         kinds: Sequence[str] = FAULT_KINDS,
-    ) -> "FaultPlan":
+    ) -> FaultPlan:
         """A seed-deterministic plan sized to a *duration_s*-second run.
 
         Faults start early enough (``at_s <= 0.6 * duration_s``) and end
@@ -165,7 +165,7 @@ class FaultPlan:
         faults.sort(key=lambda fault: (fault.at_s, fault.kind, fault.node))
         return cls(name=f"random-{seed}", faults=tuple(faults))
 
-    def shrink(self) -> Iterator["FaultPlan"]:
+    def shrink(self) -> Iterator[FaultPlan]:
         """Strictly-simpler candidates: drop one fault, then halve one
         fault's duration.  Used to minimise a violating random plan."""
         if len(self.faults) > 1:

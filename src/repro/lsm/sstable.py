@@ -88,7 +88,7 @@ class SSTable:
     def max_key(self) -> Optional[bytes]:
         return self._keys[-1] if self._keys else None
 
-    def key_range_overlaps(self, other: "SSTable") -> bool:
+    def key_range_overlaps(self, other: SSTable) -> bool:
         """True when the key ranges of the two tables intersect."""
         if not self._keys or not other._keys:
             return False

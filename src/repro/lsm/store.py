@@ -351,7 +351,7 @@ class LSMStore:
         self.generation += 1
         self.restore_count += 1
 
-    def simulate_crash_and_recover(self) -> "LSMStore":
+    def simulate_crash_and_recover(self) -> LSMStore:
         """Crash model: memtables are lost, SSTables survive, the WAL
         (when enabled) is replayed into a fresh memtable.
 

@@ -62,7 +62,7 @@ class CheckpointStats:
     as_dict = to_dict
 
     @classmethod
-    def from_dict(cls, data: dict) -> "CheckpointStats":
+    def from_dict(cls, data: dict) -> CheckpointStats:
         stats = cls(data["checkpoint"], data["time"])
         stats.flush_count = dict(data.get("flush_count", {}))
         stats.flush_ms = dict(data.get("avg_flush_ms", {}))

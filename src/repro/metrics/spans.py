@@ -36,11 +36,11 @@ class ActivitySpan:
     def duration(self) -> float:
         return self.end - self.start
 
-    def overlaps(self, other: "ActivitySpan") -> bool:
+    def overlaps(self, other: ActivitySpan) -> bool:
         """True when the two spans share any positive-length interval."""
         return self.start < other.end and other.start < self.end
 
-    def overlap_duration(self, other: "ActivitySpan") -> float:
+    def overlap_duration(self, other: ActivitySpan) -> float:
         return max(0.0, min(self.end, other.end) - max(self.start, other.start))
 
 

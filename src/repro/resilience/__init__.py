@@ -51,7 +51,7 @@ __all__ = [
 
 
 def load_resilience_config(
-    value: Union["ResilienceConfig", dict, bool, None],
+    value: Union[ResilienceConfig, dict, bool, None],
 ) -> Optional[ResilienceConfig]:
     """Coerce *value* into a :class:`ResilienceConfig` (or ``None``).
 
@@ -90,7 +90,7 @@ class ResilienceController:
         )
         job.coordinator.uploader = self.uploader.upload
 
-    def install(self) -> "ResilienceController":
+    def install(self) -> ResilienceController:
         self.guard.install()
         self.watchdog.install()
         return self

@@ -139,7 +139,7 @@ class ResilienceConfig:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ResilienceConfig":
+    def from_dict(cls, data: dict) -> ResilienceConfig:
         names = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in data.items() if k in names})
 

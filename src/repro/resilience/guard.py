@@ -60,7 +60,7 @@ class SLOGuard:
         self._pool_sizes: dict = {}
         self._mode_started: Optional[float] = None
 
-    def install(self) -> "SLOGuard":
+    def install(self) -> SLOGuard:
         spawn(self.sim, self._loop(), name="slo-guard")
         return self
 

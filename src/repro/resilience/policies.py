@@ -98,7 +98,7 @@ class RetryPolicy:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RetryPolicy":
+    def from_dict(cls, data: dict) -> RetryPolicy:
         names = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in data.items() if k in names})
 
@@ -112,7 +112,7 @@ class Deadline:
         self.at = at
 
     @classmethod
-    def after(cls, now: float, delay_s: float) -> "Deadline":
+    def after(cls, now: float, delay_s: float) -> Deadline:
         return cls(now + delay_s)
 
     def remaining(self, now: float) -> float:

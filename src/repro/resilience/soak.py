@@ -58,7 +58,7 @@ class SoakReport:
             for failure in run["failures"]
         ]
 
-    def require_pass(self) -> "SoakReport":
+    def require_pass(self) -> SoakReport:
         """Raise :class:`OverloadError` unless every run passed."""
         if not self.ok:
             raise OverloadError(

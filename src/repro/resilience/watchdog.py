@@ -50,7 +50,7 @@ class Watchdog:
         self._last_restart: Dict[str, float] = {}
         self._installed = False
 
-    def install(self) -> "Watchdog":
+    def install(self) -> Watchdog:
         if self._installed:
             raise WatchdogError("watchdog already installed")
         self._installed = True

@@ -1,0 +1,211 @@
+"""The static determinism lint: run the rule registry over sources.
+
+Entry points:
+
+* :func:`lint_paths` — lint files/directories, return :class:`Finding`
+  records sorted by location;
+* :func:`render_findings` — ``file:line:col`` terminal diagnostics;
+* :func:`findings_json` — the machine-readable report.
+
+Suppression: a finding is dropped when its physical line (or the line
+immediately above, for statement-level suppression) carries an inline
+comment of the form ::
+
+    x = build_registry()  # repro: allow[DS105] registry is append-only
+
+naming the rule by ID (``DS105``) or slug (``module-singleton``);
+``allow[*]`` suppresses every rule on that line.  The comment text after
+the bracket should state the constraint that justifies the exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from .rules import RULES, Rule, RuleContext
+
+__all__ = [
+    "Finding",
+    "lint_paths",
+    "lint_file",
+    "lint_source",
+    "render_findings",
+    "findings_json",
+]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    message: str
+    hint: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return (
+            f"{self.location}: {self.rule_id}[{self.rule_name}] "
+            f"{self.message}\n    hint: {self.hint}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def _allowed_rules(source: str) -> Dict[int, Set[str]]:
+    """``line -> {labels}`` map of inline allow-comments (1-based)."""
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        labels = {
+            label.strip().lower()
+            for label in match.group(1).split(",")
+            if label.strip()
+        }
+        allowed[lineno] = labels
+    return allowed
+
+
+def _is_suppressed(
+    finding_line: int, rule: Rule, allowed: Dict[int, Set[str]]
+) -> bool:
+    for lineno in (finding_line, finding_line - 1):
+        labels = allowed.get(lineno)
+        if not labels:
+            continue
+        if "*" in labels or any(rule.matches(label) for label in labels):
+            return True
+    return False
+
+
+def _select_rules(rules: Optional[Iterable[str]]) -> List[Rule]:
+    if rules is None:
+        return [RULES[rule_id] for rule_id in sorted(RULES)]
+    selected = []
+    for label in rules:
+        matches = [r for r in RULES.values() if r.matches(label)]
+        if not matches:
+            raise KeyError(f"unknown lint rule {label!r}")
+        selected.extend(matches)
+    return selected
+
+
+def lint_source(
+    source: str, path: str = "<string>", rules: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint one source string; *path* labels the diagnostics."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id="DS000",
+                rule_name="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+                hint="fix the syntax error; nothing else was checked",
+            )
+        ]
+    ctx = RuleContext(path, tree, source)
+    allowed = _allowed_rules(source)
+    findings: List[Finding] = []
+    for rule in _select_rules(rules):
+        for node, message in rule.check(ctx):
+            line = getattr(node, "lineno", 1)
+            if _is_suppressed(line, rule, allowed):
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=getattr(node, "col_offset", 0),
+                    rule_id=rule.id,
+                    rule_name=rule.name,
+                    message=message,
+                    hint=rule.hint,
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def lint_file(path: Union[str, Path], rules: Optional[Iterable[str]] = None) -> List[Finding]:
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), rules=rules)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        elif entry.suffix == ".py":
+            files.append(entry)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {entry}")
+    return files
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], rules: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    """Terminal rendering: one diagnostic block per finding + a tally."""
+    if not findings:
+        return "determinism lint: clean (0 findings)"
+    lines = [finding.render() for finding in findings]
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    tally = ", ".join(f"{rule_id} x{count}" for rule_id, count in sorted(by_rule.items()))
+    lines.append(f"determinism lint: {len(findings)} finding(s) ({tally})")
+    return "\n".join(lines)
+
+
+def findings_json(findings: Sequence[Finding]) -> dict:
+    """The JSON report shape (stable: consumed by CI annotations)."""
+    return {
+        "tool": "repro.sanitize.lint",
+        "rules": {
+            rule.id: {"name": rule.name, "summary": rule.summary}
+            for rule in RULES.values()
+        },
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }

@@ -22,9 +22,17 @@ as thin aliases of ``to_dict()``.
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import Any, Dict, Type, Union
 
-__all__ = ["register", "registered", "to_dict", "from_dict", "roundtrip"]
+__all__ = [
+    "register",
+    "registered",
+    "to_dict",
+    "from_dict",
+    "roundtrip",
+    "canonical_json",
+]
 
 _REGISTRY: Dict[str, type] = {}
 
@@ -72,3 +80,15 @@ def from_dict(target: Union[str, Type], data: dict) -> Any:
 def roundtrip(obj: Any) -> Any:
     """``from_dict(type(obj), to_dict(obj))`` — the protocol's contract."""
     return from_dict(type(obj), to_dict(obj))
+
+
+def canonical_json(data: Any) -> str:
+    """Insertion-order-independent JSON text of plain data.
+
+    Keys are sorted recursively and separators are minimal, so two
+    structurally equal payloads serialize to the same bytes no matter
+    how their dicts were built.  This is the one serialization every
+    content address (cache keys, state digests) must go through — the
+    order-sanitizer (:mod:`repro.sanitize.ordering`) verifies it.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))

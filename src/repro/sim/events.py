@@ -23,6 +23,13 @@ LOW_PRIORITY = 10
 #: Priority for control events that must precede normal work at a time.
 HIGH_PRIORITY = -10
 
+#: Supported tie-breaking orders among events with equal (time, priority).
+#: ``"fifo"`` is the production order (scheduling order); ``"lifo"`` is
+#: the race sanitizer's perturbation — a correct model produces the same
+#: state under both, so any divergence exposes hidden same-timestamp
+#: ordering coupling (see :mod:`repro.sanitize.racedetect`).
+TIE_BREAKS = ("fifo", "lifo")
+
 
 class Event:
     """A scheduled callback.
@@ -41,7 +48,7 @@ class Event:
         seq: int,
         callback: Callable[..., Any],
         args: tuple = (),
-        queue: "Optional[EventQueue]" = None,
+        queue: Optional[EventQueue] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -65,7 +72,7 @@ class Event:
     def _key(self) -> tuple:
         return (self.time, self.priority, self.seq)
 
-    def __lt__(self, other: "Event") -> bool:
+    def __lt__(self, other: Event) -> bool:
         return self._key() < other._key()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -75,11 +82,24 @@ class Event:
 
 
 class EventQueue:
-    """A binary-heap priority queue of :class:`Event` objects."""
+    """A binary-heap priority queue of :class:`Event` objects.
 
-    def __init__(self) -> None:
+    ``tie_break`` picks the order among events with equal
+    ``(time, priority)``: ``"fifo"`` (default, scheduling order) or
+    ``"lifo"`` (reverse scheduling order, the sanitizer's perturbation).
+    The flip is implemented by negating the sequence counter, so the
+    total order stays strict either way.
+    """
+
+    def __init__(self, tie_break: str = "fifo") -> None:
+        if tie_break not in TIE_BREAKS:
+            raise ValueError(
+                f"unknown tie_break {tie_break!r}; expected one of {TIE_BREAKS}"
+            )
+        self.tie_break = tie_break
+        self._seq_sign = 1 if tie_break == "fifo" else -1
         self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._counter = itertools.count(start=1)
         self._live = 0
 
     def __len__(self) -> int:
@@ -99,7 +119,10 @@ class EventQueue:
         priority: int = NORMAL_PRIORITY,
     ) -> Event:
         """Schedule *callback* at *time* and return its handle."""
-        event = Event(time, priority, next(self._counter), callback, args, queue=self)
+        event = Event(
+            time, priority, self._seq_sign * next(self._counter), callback, args,
+            queue=self,
+        )
         heapq.heappush(self._heap, event)
         self._live += 1
         return event

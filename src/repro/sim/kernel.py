@@ -23,6 +23,23 @@ from .rng import RngRegistry
 __all__ = ["Simulator"]
 
 
+def _dispatch_name(callback: Callable[..., Any]) -> str:
+    """Label for one dispatched event in the ``"kernel"`` trace.
+
+    Bound methods of named owners (e.g. :class:`~repro.sim.process.Process`
+    wake-ups) get the owner's name appended — all process resumes share
+    one ``__qualname__``, and the race sanitizer needs to tell the
+    checkpoint coordinator's wake-up apart from an accounting tick when
+    it localizes a divergence to two conflicting events.
+    """
+    name = getattr(callback, "__qualname__", None) or repr(callback)
+    owner = getattr(callback, "__self__", None)
+    owner_name = getattr(owner, "name", None)
+    if isinstance(owner_name, str) and owner_name:
+        return f"{name}[{owner_name}]"
+    return name
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -37,6 +54,12 @@ class Simulator:
         dispatch itself is traced only when the tracer opts into the
         ``"kernel"`` category — one instant per event is far too much
         for routine traces.
+    tie_break:
+        Ordering among events with equal ``(time, priority)``:
+        ``"fifo"`` (default, scheduling order) or ``"lifo"`` — the race
+        sanitizer's perturbation mode (see
+        :mod:`repro.sanitize.racedetect`).  Correct models produce
+        identical state under both.
 
     Examples
     --------
@@ -49,9 +72,14 @@ class Simulator:
     [1.0, 2.0]
     """
 
-    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        tie_break: str = "fifo",
+    ) -> None:
         self._now = 0.0
-        self._queue = EventQueue()
+        self._queue = EventQueue(tie_break=tie_break)
         self._running = False
         self._events_fired = 0
         self._aborted = False
@@ -68,6 +96,11 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def tie_break(self) -> str:
+        """Same-timestamp ordering mode (``"fifo"`` or ``"lifo"``)."""
+        return self._queue.tie_break
 
     @property
     def events_fired(self) -> int:
@@ -156,7 +189,7 @@ class Simulator:
         self._events_fired += 1
         if self._trace_dispatch:
             self.tracer.instant(
-                getattr(event.callback, "__qualname__", repr(event.callback)),
+                _dispatch_name(event.callback),
                 "kernel",
                 self._now,
                 tid="kernel",

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, List
 
 from ..errors import SimulationError
+from .events import NORMAL_PRIORITY
 from .kernel import Simulator
 
 __all__ = ["Signal", "Process", "spawn"]
@@ -67,10 +68,23 @@ class Signal:
 class Process:
     """A running generator process.  Create via :func:`spawn`."""
 
-    def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator,
+        name: str = "",
+        priority: int = NORMAL_PRIORITY,
+    ) -> None:
         self._sim = sim
         self._gen = generator
         self.name = name or getattr(generator, "__name__", "process")
+        #: Event priority of this process's timed wake-ups.  Processes
+        #: whose actions must precede same-timestamp peers (e.g. the
+        #: checkpoint coordinator's trigger vs. the per-instance
+        #: accounting ticks it races with) declare that ordering here
+        #: instead of relying on scheduling-order tie-breaking, which
+        #: the race sanitizer deliberately perturbs.
+        self.priority = priority
         self.finished = False
         self.result: Any = None
         #: Fired once, with :attr:`result`, when the generator returns.
@@ -95,7 +109,9 @@ class Process:
         if isinstance(wait, (int, float)):
             if wait < 0:
                 raise SimulationError(f"process {self.name!r} yielded negative delay")
-            self._sim.schedule_after(float(wait), self._advance, None)
+            self._sim.schedule_after(
+                float(wait), self._advance, None, priority=self.priority
+            )
         elif isinstance(wait, Signal):
             wait.add_waiter(self._advance)
         elif isinstance(wait, Process):
@@ -118,11 +134,16 @@ def spawn(
     generator: Generator,
     name: str = "",
     delay: float = 0.0,
+    priority: int = NORMAL_PRIORITY,
 ) -> Process:
-    """Start *generator* as a process after *delay* seconds."""
-    process = Process(sim, generator, name=name)
+    """Start *generator* as a process after *delay* seconds.
+
+    *priority* orders the process's timed wake-ups against other events
+    at the same timestamp (see :attr:`Process.priority`).
+    """
+    process = Process(sim, generator, name=name, priority=priority)
     if delay > 0:
-        sim.schedule_after(delay, process._start)
+        sim.schedule_after(delay, process._start, priority=priority)
     else:
         sim.call_soon(process._start)
     return process

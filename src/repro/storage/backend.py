@@ -59,7 +59,7 @@ class StorageProfile:
         """
         return self.write_bandwidth_mb_s
 
-    def degraded(self, factor: float) -> "StorageProfile":
+    def degraded(self, factor: float) -> StorageProfile:
         """A copy with bandwidth scaled by *factor* — the envelope of a
         slow-disk episode (throttled device, failing media).
 

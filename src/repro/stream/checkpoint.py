@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..config import CheckpointConfig
 from ..metrics.collector import MetricsCollector
+from ..sim.events import HIGH_PRIORITY
 from ..sim.kernel import Simulator
 from ..sim.process import spawn
 from ..storage.hdfs import HdfsBackup
@@ -116,7 +117,19 @@ class CheckpointCoordinator:
         self.on_trigger: List = []
 
     def start(self) -> None:
-        spawn(self.sim, self._loop(), name="checkpoint-coordinator")
+        # A trigger time t is the *boundary* of the interval it closes:
+        # state accumulated strictly before t belongs to this checkpoint,
+        # accounting ticks landing exactly at t to the next one.  The
+        # HIGH_PRIORITY wake-up makes that ordering explicit; without it
+        # the trigger races the per-instance accounting ticks scheduled
+        # for the same timestamp (found by repro.sanitize's race
+        # detector as a flushed-vs-refilled memtable divergence).
+        spawn(
+            self.sim,
+            self._loop(),
+            name="checkpoint-coordinator",
+            priority=HIGH_PRIORITY,
+        )
 
     def _loop(self):
         yield max(0.0, self.config.first_at_s - self.sim.now)

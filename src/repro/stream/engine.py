@@ -70,6 +70,7 @@ class StreamJob:
         tracer: Optional[Tracer] = None,
         faults=None,
         resilience=None,
+        tie_break: str = "fifo",
     ) -> None:
         if not stages:
             raise ConfigurationError("a job needs at least one stage")
@@ -77,7 +78,7 @@ class StreamJob:
         if len(set(names)) != len(names):
             raise ConfigurationError("stage names must be unique")
 
-        self.sim = Simulator(seed, tracer=tracer)
+        self.sim = Simulator(seed, tracer=tracer, tie_break=tie_break)
         self.cluster = cluster or ClusterConfig()
         self.cost = cost or CostModel()
         self.checkpoint_config = checkpoint or CheckpointConfig()
@@ -351,7 +352,7 @@ class StreamJob:
             if store.memtable_full and instance.flush_in_flight == 0:
                 self.backend.flush_instance(instance, reason="memtable-full")
 
-    def run(self, duration: float) -> "StreamJobResult":
+    def run(self, duration: float) -> StreamJobResult:
         """Run for *duration* simulated seconds and collect results."""
         if self._started:
             raise SimulationError("a StreamJob can only be run once")

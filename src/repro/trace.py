@@ -53,6 +53,7 @@ __all__ = [
     "NULL_TRACER",
     "ensure_tracer",
     "read_jsonl",
+    "events_in_window",
 ]
 
 #: Bump when the JSONL record shape changes; readers check it.
@@ -109,7 +110,7 @@ class TraceEvent:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "TraceEvent":
+    def from_dict(cls, data: dict) -> TraceEvent:
         return cls(
             name=data["name"],
             cat=data["cat"],
@@ -125,6 +126,29 @@ class TraceEvent:
             f"<TraceEvent {self.ph} {self.cat}/{self.name!r} "
             f"ts={self.ts:.6f} dur={self.dur:.6f}>"
         )
+
+
+def events_in_window(
+    events: Iterable[TraceEvent],
+    start: float,
+    end: float,
+    category: Optional[str] = None,
+    eps: float = 1e-9,
+) -> List[TraceEvent]:
+    """Events with ``start < ts <= end`` (optionally one *category*).
+
+    The half-open-on-the-left convention matches windowed state digests
+    (a digest at window boundary *t* summarizes everything up to and
+    including *t*), so the race sanitizer can map a divergent digest
+    straight to the dispatches that produced it.  *eps* absorbs
+    float-accumulated boundary error.
+    """
+    lo, hi = start - eps, end + eps
+    return [
+        e
+        for e in events
+        if lo < e.ts <= hi and (category is None or e.cat == category)
+    ]
 
 
 class Tracer:
@@ -330,7 +354,7 @@ def read_jsonl(path_or_lines) -> List[TraceEvent]:
     preserved as events so traces round-trip.
     """
     if isinstance(path_or_lines, (str, bytes)) or hasattr(path_or_lines, "__fspath__"):
-        with open(path_or_lines, "r", encoding="utf-8") as handle:
+        with open(path_or_lines, encoding="utf-8") as handle:
             lines: Sequence[str] = handle.readlines()
     else:
         lines = list(path_or_lines)

@@ -1,0 +1,28 @@
+"""Determinism-clean fixture: allowed patterns and suppressions.
+
+tests/test_sanitize_lint.py asserts ``repro lint`` reports zero
+findings here — seeded RNG, sorted iteration, immutable defaults and
+``# repro: allow[...]`` suppressions are all fine.
+"""
+
+import random
+import time
+
+SEED_OFFSET = 17  # ALL_CAPS module constants are not singletons
+
+
+def benchmark_stamp():
+    # The harness is allowed to read real time when measuring itself.
+    return time.perf_counter()  # repro: allow[DS101] benchmark harness
+
+
+def seeded_draw(seed):
+    return random.Random(seed).random()
+
+
+def iterate_sorted(items):
+    return [item for item in sorted(set(items))]
+
+
+def immutable_default(acc=()):
+    return list(acc)

@@ -1,0 +1,37 @@
+"""Planted determinism violations — one per lint rule.
+
+Golden fixture for tests/test_sanitize_lint.py: every rule must fire
+here at the exact line asserted by the test.  Do not reformat without
+updating the expected line numbers.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock():
+    return time.time()  # line 15: DS101
+
+
+def unseeded_draw():
+    return random.random()  # line 19: DS102
+
+
+def unseeded_numpy():
+    return np.random.rand(3)  # line 23: DS102
+
+
+def iterate_set(items):
+    for item in {1, 2, 3}:  # line 27: DS103
+        items.append(item)
+    return sorted(items)
+
+
+def mutable_default(acc=[]):  # line 32: DS104
+    acc.append(1)
+    return acc
+
+
+shared_registry = {}  # line 37: DS105

@@ -1,10 +1,10 @@
-"""Unit tests for the shared capacity-dip mechanism (§6 disturbances).
+"""Unit tests for :func:`repro.faults.capacity.capacity_dip`.
 
-The deprecated ``repro.sim.disturbances`` injector classes are gone;
-GC pauses, DVFS throttling and co-location interference are expressed
-as :class:`repro.faults.FaultPlan` scenarios or by spawning
-:func:`repro.faults.capacity.capacity_dip` directly.  These tests keep
-the behavioural guarantees the injectors used to carry.
+GC pauses, DVFS throttling and co-location interference (§6
+disturbances) are expressed as :class:`repro.faults.FaultPlan`
+scenarios or by spawning ``capacity_dip`` directly; these tests pin
+the mechanism's behavioural guarantees — queueing during an outage,
+restoration afterwards, and non-compounding overlap.
 """
 
 import pytest

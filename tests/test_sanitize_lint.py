@@ -1,0 +1,126 @@
+"""Golden-diagnostic tests for the static determinism lint."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.sanitize import (
+    RULES,
+    findings_json,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+
+FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+VIOLATIONS = FIXTURES / "violations.py"
+CLEAN = FIXTURES / "clean.py"
+PACKAGE = Path(__file__).parents[1] / "src" / "repro"
+
+
+def test_rule_registry_is_complete():
+    assert sorted(RULES) == ["DS101", "DS102", "DS103", "DS104", "DS105"]
+    for rule in RULES.values():
+        assert rule.hint and rule.summary and rule.name
+
+
+@pytest.mark.parametrize(
+    "rule_id, line, fragment",
+    [
+        ("DS101", 15, "time.time()"),
+        ("DS102", 19, "random.random()"),
+        ("DS102", 23, "numpy.random.rand()"),
+        ("DS103", 27, "set literal"),
+        ("DS104", 32, "mutable_default()"),
+        ("DS105", 37, "shared_registry"),
+    ],
+)
+def test_golden_diagnostics(rule_id, line, fragment):
+    findings = lint_paths([VIOLATIONS])
+    matches = [f for f in findings if f.rule_id == rule_id and f.line == line]
+    assert len(matches) == 1, render_findings(findings)
+    finding = matches[0]
+    assert fragment in finding.message
+    assert finding.location == f"{VIOLATIONS}:{line}:{finding.col}"
+    assert RULES[rule_id].hint == finding.hint
+
+
+def test_violation_fixture_has_exactly_the_planted_findings():
+    findings = lint_paths([VIOLATIONS])
+    assert [f.rule_id for f in findings] == [
+        "DS101", "DS102", "DS102", "DS103", "DS104", "DS105",
+    ]
+
+
+def test_clean_fixture_and_suppressions():
+    assert lint_paths([CLEAN]) == []
+
+
+def test_inline_suppression_is_rule_specific():
+    source = "import time\n\nt = time.time()  # repro: allow[DS101] boot stamp\n"
+    assert lint_source(source, "x.py") == []
+    # A suppression for a different rule must not silence the finding.
+    wrong = "import time\n\nt = time.time()  # repro: allow[DS102]\n"
+    findings = lint_source(wrong, "x.py")
+    assert [f.rule_id for f in findings] == ["DS101"]
+
+
+def test_suppression_accepts_rule_name_and_wildcard():
+    by_name = "import time\nT = time.time()  # repro: allow[wall-clock]\n"
+    assert lint_source(by_name, "x.py") == []
+    wildcard = "import random\nV = random.random()  # repro: allow[*]\n"
+    assert lint_source(wildcard, "x.py") == []
+
+
+def test_suppression_on_preceding_line():
+    source = (
+        "import time\n"
+        "# repro: allow[DS101] harness-only timing\n"
+        "T = time.time()\n"
+    )
+    assert lint_source(source, "x.py") == []
+
+
+def test_syntax_error_reports_ds000():
+    findings = lint_source("def broken(:\n", "x.py")
+    assert len(findings) == 1
+    assert findings[0].rule_id == "DS000"
+
+
+def test_findings_json_shape():
+    report = findings_json(lint_paths([VIOLATIONS]))
+    assert report["tool"] == "repro.sanitize.lint"
+    assert report["count"] == 6
+    assert set(report["rules"]) == set(RULES)
+    assert json.loads(json.dumps(report)) == report
+    first = report["findings"][0]
+    assert {"path", "line", "col", "rule_id", "rule_name", "message",
+            "hint"} <= set(first)
+
+
+def test_render_findings_tallies_by_rule():
+    text = render_findings(lint_paths([VIOLATIONS]))
+    assert "6 finding(s)" in text
+    assert "DS102 x2" in text
+    assert f"{VIOLATIONS}:15:" in text
+
+
+def test_repro_package_is_lint_clean():
+    findings = lint_paths([PACKAGE])
+    assert findings == [], render_findings(findings)
+
+
+def test_cli_lint_exit_codes(capsys):
+    assert main(["lint", str(VIOLATIONS)]) == 1
+    out = capsys.readouterr().out
+    assert "DS101[wall-clock]" in out
+    assert main(["lint", str(CLEAN)]) == 0
+    assert main(["lint", str(FIXTURES / "missing.py")]) == 2
+
+
+def test_cli_lint_json(capsys):
+    assert main(["lint", str(VIOLATIONS), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["count"] == 6
