@@ -38,6 +38,14 @@ from .core import (
     recommend_flush_threads,
 )
 from .experiments.parallel import RunSpec, run_grid, sweep
+from .experiments.profile import ProfileReport, profile_run
+from .experiments.shard import (
+    ShardPlan,
+    ShardedResult,
+    execute_spec_sharded,
+    merge_summaries,
+    plan_shards,
+)
 from .experiments.runner import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
@@ -111,6 +119,16 @@ __all__ = [
     "DEFAULT_SETTINGS",
     "RunSpec",
     "RunSummary",
+    # sharded execution
+    "ShardPlan",
+    "ShardedResult",
+    "plan_shards",
+    "execute_spec_sharded",
+    "merge_summaries",
+    # profiling
+    "profile",
+    "profile_run",
+    "ProfileReport",
     # jobs
     "build_traffic_job",
     "build_wordcount_job",
@@ -209,6 +227,15 @@ def lint(*paths):
     if not targets:
         targets = [Path(__file__).resolve().parent]
     return lint_paths(targets)
+
+
+def profile(**kwargs) -> ProfileReport:
+    """Profile one benchmark run: kernel dispatch histogram plus an
+    optional cProfile pass; see
+    :func:`repro.experiments.profile.profile_run` for the keyword
+    arguments.  Equivalent to ``repro profile``.
+    """
+    return profile_run(**kwargs)
 
 
 def sanitize(**kwargs) -> SanitizeReport:

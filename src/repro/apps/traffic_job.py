@@ -79,8 +79,24 @@ def build_traffic_job(
     cost: Optional[CostModel] = None,
     tracer: Optional[Tracer] = None,
     tie_break: str = "fifo",
+    scale: int = 1,
 ) -> StreamJob:
-    """Assemble the traffic-jam job with the paper's deployment shape."""
+    """Assemble the traffic-jam job with the paper's deployment shape.
+
+    ``scale = G`` builds a 1/G slice of the deployment for sharded
+    execution (:mod:`repro.experiments.shard`): nodes, stage
+    parallelism, key spaces and the source rate all shrink by G, so
+    per-node and per-instance load match the full cluster exactly.
+    G must divide the node count (4) and every stage's parallelism
+    (singleton stages are replicated, see :meth:`StageSpec.scaled`).
+    """
+    if scale < 1:
+        raise ConfigurationError(f"scale must be >= 1, got {scale}")
+    num_nodes = 4
+    if num_nodes % scale != 0:
+        raise ConfigurationError(
+            f"traffic job: {num_nodes} nodes not divisible into {scale} shards"
+        )
     if isinstance(initial_l0, str):
         try:
             initial_l0 = INITIAL_L0_PRESETS[initial_l0]
@@ -90,9 +106,11 @@ def build_traffic_job(
                 f"available: {sorted(INITIAL_L0_PRESETS)}"
             ) from None
     return StreamJob(
-        stages=TRAFFIC_STAGES,
-        source=ConstantSource(message_rate),
-        cluster=ClusterConfig(num_nodes=4, cores_per_node=16, storage=storage),
+        stages=tuple(spec.scaled(scale) for spec in TRAFFIC_STAGES),
+        source=ConstantSource(message_rate / scale),
+        cluster=ClusterConfig(
+            num_nodes=num_nodes // scale, cores_per_node=16, storage=storage
+        ),
         cost=cost or CostModel(),
         checkpoint=CheckpointConfig(
             interval_s=checkpoint_interval_s, first_at_s=checkpoint_interval_s

@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..config import CheckpointConfig, ClusterConfig, CostModel
 from ..core.mitigation import MitigationPlan
+from ..errors import ConfigurationError
 from ..storage.backend import StorageProfile, TMPFS
 from ..stream.engine import StreamJob
 from ..trace import Tracer
@@ -52,20 +53,36 @@ def build_wordcount_job(
     cost: Optional[CostModel] = None,
     tracer: Optional[Tracer] = None,
     tie_break: str = "fifo",
+    scale: int = 1,
 ) -> StreamJob:
     """Assemble the single-node WordCount job.
 
     ``commit_interval_s`` plays Flink's checkpoint-interval role: Kafka
     Streams flushes its RocksDB stores on each commit.
+
+    ``scale = G`` builds a 1/G slice for sharded execution: the single
+    node is sliced by *cores* (16/G cores, 64/G partitions, 1/G of the
+    sentence rate), keeping per-core load identical.  The per-message
+    CPU cost is intensive and does not scale.
     """
+    cores_per_node = 16
+    if scale < 1:
+        raise ConfigurationError(f"scale must be >= 1, got {scale}")
+    if cores_per_node % scale != 0:
+        raise ConfigurationError(
+            f"wordcount job: {cores_per_node} cores not divisible into "
+            f"{scale} shards"
+        )
     if cost is None:
         # 25 k msg/s through two steps on 16 cores at ~70 % average CPU
         # (the paper's reported Kafka-node utilization).
         cost = CostModel(cpu_seconds_per_message=16 * 0.70 / (2 * 25000.0))
     return StreamJob(
-        stages=WORDCOUNT_STAGES,
-        source=ConstantSource(sentence_rate),
-        cluster=ClusterConfig(num_nodes=1, cores_per_node=16, storage=storage),
+        stages=tuple(spec.scaled(scale) for spec in WORDCOUNT_STAGES),
+        source=ConstantSource(sentence_rate / scale),
+        cluster=ClusterConfig(
+            num_nodes=1, cores_per_node=cores_per_node // scale, storage=storage
+        ),
         cost=cost,
         checkpoint=CheckpointConfig(
             interval_s=commit_interval_s, first_at_s=commit_interval_s

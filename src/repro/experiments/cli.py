@@ -14,6 +14,7 @@ Usage::
     python -m repro compare                # baseline vs solution summary
     python -m repro cache info             # inspect the result cache
     python -m repro cache clear
+    python -m repro profile fig8           # dispatch histogram + cProfile
     python -m repro lint src/repro         # determinism lint (exit 1 on findings)
     python -m repro sanitize --duration 24 # race + ordering sanitizers
 
@@ -35,7 +36,14 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from . import figures
-from .parallel import CACHE_ENV, RunSpec, cache_dir, clear_cache, run_grid
+from .parallel import (
+    CACHE_ENV,
+    SHARDS_ENV,
+    RunSpec,
+    cache_dir,
+    clear_cache,
+    run_grid,
+)
 from .report import render_series, render_sweep, render_table, render_tails
 from .runner import ExperimentSettings
 
@@ -97,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=None,
                      help="worker processes for sweep experiments "
                           "(default serial; 0 = one per core)")
+    run.add_argument("--shards", type=int, default=None, metavar="G",
+                     help="run each simulation as G independent cluster "
+                          "slices advancing in lock-step checkpoint "
+                          "epochs and merge their summaries (must divide "
+                          "the deployment: traffic 4 nodes, wordcount 16 "
+                          "cores); --jobs fans the slices over processes")
     run.add_argument("--no-cache", action="store_true",
                      help="bypass the on-disk result cache")
     run.add_argument("--json", action="store_true",
@@ -195,6 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true",
                       help="emit findings as a JSON report")
 
+    profile = sub.add_parser(
+        "profile",
+        help="profile one exemplar run: kernel dispatch histogram "
+             "(per-callback event counts and self time) plus an optional "
+             "cProfile pass — the starting point for hot-spot hunts",
+    )
+    profile.add_argument("experiment", nargs="?", default="fig8",
+                         choices=sorted(EXPERIMENTS))
+    profile.add_argument("--duration", type=float, default=104.0,
+                         help="simulated seconds (default 104)")
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument("--top", type=int, default=20,
+                         help="rows per section (default 20)")
+    profile.add_argument("--shards", type=int, default=1, metavar="G",
+                         help="profile the 1/G cluster slice a sharded "
+                              "worker executes")
+    profile.add_argument("--no-cprofile", action="store_true",
+                         help="skip the cProfile pass; dispatch histogram "
+                              "only (faster, uninflated wall time)")
+    profile.add_argument("--json", action="store_true",
+                         help="dump the ProfileReport as JSON")
+
     sanitize = sub.add_parser(
         "sanitize",
         help="runtime determinism sanitizers: run a benchmark twice with "
@@ -213,6 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="checkpoint interval, seconds (default 8)")
     sanitize.add_argument("--storage", choices=("tmpfs", "nvme"),
                           default="tmpfs")
+    sanitize.add_argument("--shards", type=int, default=1, metavar="G",
+                          help="sanitize the sharded mode: probe the 1/G "
+                               "cluster slice a sharded worker executes")
     sanitize.add_argument("--perturbations", type=int, default=8,
                           help="dict-order shuffles for the ordering "
                                "checks (default 8)")
@@ -472,6 +511,38 @@ def _lint_command(args) -> int:
     return 1 if findings else 0
 
 
+def _profile_command(args) -> int:
+    """Profile the experiment's exemplar run; print the report."""
+    from ..errors import ConfigurationError
+    from .profile import profile_run
+
+    overrides = dict(EXEMPLARS.get(args.experiment, {}))
+    kind = overrides.pop("kind", "traffic")
+    try:
+        report = profile_run(
+            kind=kind,
+            duration_s=args.duration,
+            seed=args.seed,
+            interval_s=overrides.get("interval_s", 8.0),
+            storage=overrides.get("storage", "tmpfs"),
+            initial_l0=overrides.get("initial_l0", "aligned"),
+            mitigation=overrides.get("mitigation"),
+            label=f"profile:{args.experiment}",
+            with_cprofile=not args.no_cprofile,
+            shards=args.shards,
+            top=max(args.top, 50),
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        print(report.render(top=args.top))
+    return 0
+
+
 def _sanitize_command(args) -> int:
     """Run the runtime sanitizers on one benchmark; exit 1 on FAIL."""
     from ..sanitize import sanitize_experiment
@@ -484,6 +555,7 @@ def _sanitize_command(args) -> int:
         interval_s=args.interval,
         storage=args.storage,
         perturbations=args.perturbations,
+        shards=args.shards,
     )
     if args.json:
         json.dump(report.to_dict(), sys.stdout, indent=2, default=str)
@@ -512,6 +584,33 @@ class _cache_override:
                 os.environ.pop(CACHE_ENV, None)
             else:
                 os.environ[CACHE_ENV] = self._saved
+
+
+class _shard_override:
+    """Temporarily set ``REPRO_SHARDS`` for ``--shards G`` runs.
+
+    Every experiment executes its runs through
+    :func:`~repro.experiments.parallel.run_grid`, which reads the env
+    var — so sharding applies uniformly without threading a parameter
+    through each figure function.
+    """
+
+    def __init__(self, shards: Optional[int]) -> None:
+        self.shards = shards
+        self._saved: Optional[str] = None
+
+    def __enter__(self) -> "_shard_override":
+        if self.shards is not None:
+            self._saved = os.environ.get(SHARDS_ENV)
+            os.environ[SHARDS_ENV] = str(self.shards)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.shards is not None:
+            if self._saved is None:
+                os.environ.pop(SHARDS_ENV, None)
+            else:
+                os.environ[SHARDS_ENV] = self._saved
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -563,6 +662,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "lint":
         return _lint_command(args)
 
+    if args.command == "profile":
+        return _profile_command(args)
+
     if args.command == "sanitize":
         return _sanitize_command(args)
 
@@ -577,7 +679,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     kwargs = {"settings": settings}
     if "jobs" in inspect.signature(experiment).parameters:
         kwargs["jobs"] = args.jobs
-    with _cache_override(args.no_cache):
+    with _cache_override(args.no_cache), _shard_override(
+        getattr(args, "shards", None)
+    ):
         out = experiment(**kwargs)
     if args.json:
         json.dump(out, sys.stdout, indent=2, default=str)

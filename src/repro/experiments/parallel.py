@@ -22,6 +22,8 @@ Environment toggles::
 
     REPRO_CACHE=off        # disable the cache entirely
     REPRO_CACHE_DIR=path   # relocate it (default ./.repro-cache)
+    REPRO_SHARDS=G         # run every spec as G cluster slices
+                           # (see repro.experiments.shard)
 """
 
 from __future__ import annotations
@@ -68,6 +70,7 @@ __all__ = [
 
 CACHE_ENV = "REPRO_CACHE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+SHARDS_ENV = "REPRO_SHARDS"
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Version stamped into every cache key: a new release invalidates all
@@ -193,30 +196,41 @@ def cache_dir(directory: Optional[Union[str, Path]] = None) -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
 
 
-def cache_key_from_dict(key_dict: dict, version: Optional[str] = None) -> str:
+def cache_key_from_dict(
+    key_dict: dict, version: Optional[str] = None, shards: int = 1
+) -> str:
     """Content address of a spec's :meth:`RunSpec.key_dict` payload.
 
     The hash goes through :func:`repro.serialize.canonical_json`, so it
     is independent of dict insertion order — the order-sanitizer
     (:mod:`repro.sanitize.ordering`) checks exactly this property.
+    Sharded runs (``shards > 1``) hash to a different address: their
+    summaries are merged approximations and must never substitute for
+    the unsharded run (or vice versa).
     """
     payload = {
         "spec": key_dict,
         "version": _PACKAGE_VERSION if version is None else version,
     }
+    if shards > 1:
+        payload["shards"] = shards
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
-def spec_cache_key(spec: RunSpec, version: Optional[str] = None) -> str:
+def spec_cache_key(
+    spec: RunSpec, version: Optional[str] = None, shards: int = 1
+) -> str:
     """Content address of a spec: SHA-256 over canonical JSON + version."""
-    return cache_key_from_dict(spec.key_dict(), version=version)
+    return cache_key_from_dict(spec.key_dict(), version=version, shards=shards)
 
 
 def cache_load(
-    spec: RunSpec, directory: Optional[Union[str, Path]] = None
+    spec: RunSpec,
+    directory: Optional[Union[str, Path]] = None,
+    shards: int = 1,
 ) -> Optional[RunSummary]:
     """Fetch a cached summary for *spec*, or ``None`` on a miss."""
-    path = cache_dir(directory) / f"{spec_cache_key(spec)}.json"
+    path = cache_dir(directory) / f"{spec_cache_key(spec, shards=shards)}.json"
     try:
         with open(path, encoding="utf-8") as handle:
             stored = json.load(handle)
@@ -230,11 +244,12 @@ def cache_store(
     spec: RunSpec,
     summary: RunSummary,
     directory: Optional[Union[str, Path]] = None,
+    shards: int = 1,
 ) -> Path:
     """Persist *summary* under *spec*'s content address (atomically)."""
     root = cache_dir(directory)
     root.mkdir(parents=True, exist_ok=True)
-    key = spec_cache_key(spec)
+    key = spec_cache_key(spec, shards=shards)
     path = root / f"{key}.json"
     payload = {
         "key": key,
@@ -242,6 +257,8 @@ def cache_store(
         "spec": spec.key_dict(),
         "summary": summary.to_dict(),
     }
+    if shards > 1:
+        payload["shards"] = shards
     tmp = root / f".{key}.{os.getpid()}.tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
@@ -274,11 +291,27 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _resolve_shards(shards: Optional[int]) -> int:
+    """``None`` defers to ``REPRO_SHARDS`` (default 1 = unsharded)."""
+    if shards is not None:
+        return max(1, int(shards))
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ConfigurationError(
+            f"{SHARDS_ENV}={raw!r} is not an integer shard count"
+        ) from None
+
+
 def run_grid(
     specs: Iterable[RunSpec],
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_directory: Optional[Union[str, Path]] = None,
+    shards: Optional[int] = None,
 ) -> List[RunSummary]:
     """Execute every spec and return summaries in submission order.
 
@@ -294,6 +327,12 @@ def run_grid(
     cache_directory:
         Override the cache location (default: ``REPRO_CACHE_DIR`` or
         ``./.repro-cache``).
+    shards:
+        Run every spec as this many independent cluster slices and
+        merge their summaries (see :mod:`repro.experiments.shard`);
+        ``None`` defers to ``REPRO_SHARDS``, default unsharded.
+        Sharded summaries cache under their own content address and are
+        never substituted for unsharded ones.
 
     Serial and parallel execution produce bit-identical summaries: the
     simulator is fully seeded, workers are independent, and both paths
@@ -301,37 +340,58 @@ def run_grid(
     """
     spec_list = list(specs)
     use_cache = cache_enabled() if cache is None else bool(cache)
+    shard_count = _resolve_shards(shards)
     results: List[Optional[RunSummary]] = [None] * len(spec_list)
 
     missing: List[int] = []
     for index, spec in enumerate(spec_list):
-        hit = cache_load(spec, cache_directory) if use_cache else None
+        hit = (
+            cache_load(spec, cache_directory, shards=shard_count)
+            if use_cache
+            else None
+        )
         if hit is not None:
             # The label is excluded from the cache key (presentation
             # only), so a hit may carry the label of whichever figure
             # cached it first — restamp with the requesting spec's.
-            results[index] = dataclasses.replace(hit, label=spec.label)
+            label = spec.label
+            if shard_count > 1:
+                label = (label or spec.kind) + f"[shards={shard_count}]"
+            results[index] = dataclasses.replace(hit, label=label)
         else:
             missing.append(index)
 
-    workers = min(_resolve_jobs(jobs), max(len(missing), 1))
-    if workers <= 1 or len(missing) <= 1:
+    if shard_count > 1:
+        # Sharded mode: the process fan-out happens *inside* each spec
+        # (one worker per shard), so specs execute one after another.
+        from .shard import execute_spec_sharded
+
         for index in missing:
-            # Round-trip through the dict form so serial results are
-            # bit-identical to what a worker would have shipped back.
-            results[index] = RunSummary.from_dict(
-                execute_spec(spec_list[index]).to_dict()
-            )
+            results[index] = execute_spec_sharded(
+                spec_list[index], shard_count, jobs=jobs
+            ).merged
     else:
-        context = multiprocessing.get_context("spawn")
-        payloads = [(index, spec_list[index]) for index in missing]
-        with context.Pool(workers) as pool:
-            for index, data in pool.imap_unordered(_worker, payloads):
-                results[index] = RunSummary.from_dict(data)
+        workers = min(_resolve_jobs(jobs), max(len(missing), 1))
+        if workers <= 1 or len(missing) <= 1:
+            for index in missing:
+                # Round-trip through the dict form so serial results are
+                # bit-identical to what a worker would have shipped back.
+                results[index] = RunSummary.from_dict(
+                    execute_spec(spec_list[index]).to_dict()
+                )
+        else:
+            context = multiprocessing.get_context("spawn")
+            payloads = [(index, spec_list[index]) for index in missing]
+            with context.Pool(workers) as pool:
+                for index, data in pool.imap_unordered(_worker, payloads):
+                    results[index] = RunSummary.from_dict(data)
 
     if use_cache:
         for index in missing:
-            cache_store(spec_list[index], results[index], cache_directory)
+            cache_store(
+                spec_list[index], results[index], cache_directory,
+                shards=shard_count,
+            )
     return results  # type: ignore[return-value]
 
 
@@ -341,6 +401,7 @@ def sweep(
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_directory: Optional[Union[str, Path]] = None,
+    shards: Optional[int] = None,
 ) -> List[RunSummary]:
     """Map *values* through *make_spec* and execute the resulting grid.
 
@@ -360,4 +421,7 @@ def sweep(
     Summaries come back aligned with *values*.
     """
     specs = [make_spec(value) for value in values]
-    return run_grid(specs, jobs=jobs, cache=cache, cache_directory=cache_directory)
+    return run_grid(
+        specs, jobs=jobs, cache=cache, cache_directory=cache_directory,
+        shards=shards,
+    )

@@ -82,8 +82,15 @@ def run_traffic(
     faults=None,
     resilience=None,
     tie_break: str = "fifo",
+    scale: int = 1,
+    barrier_s: Optional[float] = None,
 ) -> StreamJobResult:
-    """Run the traffic-jam benchmark with standard settings."""
+    """Run the traffic-jam benchmark with standard settings.
+
+    ``scale``/``barrier_s`` are the sharded-execution knobs (see
+    :mod:`repro.experiments.shard`): a 1/scale slice of the deployment,
+    advanced in lock-step epochs of ``barrier_s`` simulated seconds.
+    """
     job = build_traffic_job(
         checkpoint_interval_s=checkpoint_interval_s,
         mitigation=mitigation,
@@ -92,6 +99,7 @@ def run_traffic(
         seed=settings.seed,
         tracer=tracer if tracer is not None else settings.make_tracer(),
         tie_break=tie_break,
+        scale=scale,
     )
     if faults is not None:
         from ..faults import inject_faults
@@ -101,7 +109,7 @@ def run_traffic(
         from ..resilience import install_resilience
 
         install_resilience(job, resilience)
-    return job.run(settings.duration_s)
+    return job.run(settings.duration_s, barrier_s=barrier_s)
 
 
 def run_wordcount(
@@ -113,8 +121,13 @@ def run_wordcount(
     faults=None,
     resilience=None,
     tie_break: str = "fifo",
+    scale: int = 1,
+    barrier_s: Optional[float] = None,
 ) -> StreamJobResult:
-    """Run the WordCount benchmark with standard settings."""
+    """Run the WordCount benchmark with standard settings.
+
+    ``scale``/``barrier_s`` as in :func:`run_traffic`.
+    """
     job = build_wordcount_job(
         commit_interval_s=commit_interval_s,
         mitigation=mitigation,
@@ -122,6 +135,7 @@ def run_wordcount(
         seed=settings.seed,
         tracer=tracer if tracer is not None else settings.make_tracer(),
         tie_break=tie_break,
+        scale=scale,
     )
     if faults is not None:
         from ..faults import inject_faults
@@ -131,4 +145,4 @@ def run_wordcount(
         from ..resilience import install_resilience
 
         install_resilience(job, resilience)
-    return job.run(settings.duration_s)
+    return job.run(settings.duration_s, barrier_s=barrier_s)

@@ -1,0 +1,357 @@
+"""Sharded simulation: one run split into independent cluster slices.
+
+The deployments the paper simulates are symmetric: stage instances are
+assigned round-robin over nodes, the source rate is split evenly over
+hosting nodes, and downstream rates are aggregated and re-split evenly.
+A 1/G slice of the cluster — nodes (or, for the single-node WordCount
+job, cores), stage parallelism, key spaces and source rate all scaled by
+1/G — is therefore itself a well-formed deployment whose per-node and
+per-instance load match the full run's.  Sharded mode runs G such
+slices as G *independent* simulations, optionally fanned over worker
+processes, and merges their summaries.
+
+Conservative time synchronization
+---------------------------------
+Each shard advances its virtual clock in lock-step epochs of one
+checkpoint interval (``job.run(duration, barrier_s=interval)``), the
+classic conservative-PDES window with the checkpoint interval as
+lookahead: no shard's clock moves more than one barrier ahead of the
+epoch boundary.  Because the slices genuinely share no events, the
+window never forces a rollback — which is exactly why the partitioning
+is by *node group* and not by stage (stages on one node share its CPU
+and its flush/compaction pools).
+
+Determinism
+-----------
+A sharded run is deterministic: the same ``(spec, shards)`` produces an
+identical merged summary whether shards execute serially in-process or
+across worker processes (each shard is seeded as
+``seed + 100003 * shard_index``).  It is *not* bit-identical to the
+unsharded run — a slice is a smaller cluster with its own RNG draw
+order — so golden state digests always use ``shards=1``.
+
+Merging
+-------
+Counters and concurrency timelines are summed across shards (they
+partition the cluster), per-window tail timelines take the worst shard
+per window, and the run-level tail summary is conservative: p95/p99/
+p99.9/max report the worst shard, p50 the shard mean.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from .runner import ExperimentSettings  # noqa: F401  (re-exported for callers)
+from .summary import RunSummary
+
+__all__ = [
+    "ShardPlan",
+    "ShardedResult",
+    "plan_shards",
+    "execute_spec_sharded",
+    "merge_summaries",
+    "shard_seed",
+]
+
+#: Seed stride between shards: each slice draws from its own stream.
+_SEED_STRIDE = 100003
+
+#: Node (traffic) and per-node core (wordcount) counts of the standard
+#: deployments — what a shard count must divide.
+_TRAFFIC_NODES = 4
+_WORDCOUNT_CORES = 16
+
+
+def shard_seed(seed: int, shard_index: int) -> int:
+    """The RNG seed shard *shard_index* of a run seeded *seed* uses."""
+    return seed + _SEED_STRIDE * shard_index
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A validated sharding of one run.
+
+    Parameters
+    ----------
+    shards:
+        Number of independent cluster slices.
+    barrier_s:
+        Conservative-sync epoch length; ``None`` uses the run's
+        checkpoint/commit interval (the natural lookahead — all
+        cross-instance coupling inside a shard happens at checkpoint
+        boundaries).
+    """
+
+    shards: int
+    barrier_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.barrier_s is not None and self.barrier_s <= 0:
+            raise ConfigurationError(
+                f"barrier_s must be > 0, got {self.barrier_s}"
+            )
+
+    def resolve_barrier(self, interval_s: float) -> float:
+        return self.barrier_s if self.barrier_s is not None else interval_s
+
+
+def plan_shards(spec, shards: int, barrier_s: Optional[float] = None) -> ShardPlan:
+    """Validate *shards* against *spec*'s deployment shape.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the cluster
+    cannot be sliced evenly: the traffic job's 4 node groups admit
+    shards ∈ {1, 2, 4}; the single-node WordCount job slices its 16
+    cores, so shards must divide 16.  Stage parallelism divisibility is
+    checked by :meth:`repro.stream.stage.StageSpec.scaled` at build
+    time; the checks here fail fast with the same rules.
+    """
+    plan = ShardPlan(shards=shards, barrier_s=barrier_s)
+    if shards == 1:
+        return plan
+    if spec.kind == "traffic":
+        whole, what = _TRAFFIC_NODES, "node groups"
+    else:
+        whole, what = _WORDCOUNT_CORES, "cores"
+    if whole % shards != 0:
+        raise ConfigurationError(
+            f"{spec.kind} job: {whole} {what} cannot be split into "
+            f"{shards} shards"
+        )
+    # Fail fast on stage divisibility (scaled() re-checks at build time).
+    from ..apps.traffic_job import TRAFFIC_STAGES
+    from ..apps.wordcount_job import WORDCOUNT_STAGES
+
+    stages = TRAFFIC_STAGES if spec.kind == "traffic" else WORDCOUNT_STAGES
+    for stage in stages:
+        stage.scaled(shards)
+    return plan
+
+
+@dataclass
+class ShardedResult:
+    """The merged summary of a sharded run plus its per-shard parts."""
+
+    merged: RunSummary
+    parts: List[RunSummary]
+    shards: int
+    barrier_s: float
+    #: Lock-step epochs each shard advanced through.
+    barriers: int
+
+
+# ----------------------------------------------------------------------
+# per-shard execution
+# ----------------------------------------------------------------------
+
+def _execute_one_shard(spec, shards: int, index: int, barrier_s: float) -> RunSummary:
+    """Run shard *index* of *spec* to completion (worker-side step)."""
+    from ..storage.backend import profile_by_name
+    from .runner import run_traffic, run_wordcount
+    from .summary import summarize_run
+
+    settings = replace(spec.settings, seed=shard_seed(spec.settings.seed, index))
+    label = f"{spec.label or spec.kind}[shard {index}/{shards}]"
+    if spec.kind == "traffic":
+        result = run_traffic(
+            mitigation=spec.mitigation,
+            checkpoint_interval_s=spec.interval_s,
+            initial_l0=spec.initial_l0,
+            storage=profile_by_name(spec.storage),
+            settings=settings,
+            faults=spec.faults,
+            resilience=spec.resilience,
+            scale=shards,
+            barrier_s=barrier_s,
+        )
+    else:
+        result = run_wordcount(
+            mitigation=spec.mitigation,
+            commit_interval_s=spec.interval_s,
+            storage=profile_by_name(spec.storage),
+            settings=settings,
+            faults=spec.faults,
+            resilience=spec.resilience,
+            scale=shards,
+            barrier_s=barrier_s,
+        )
+    return summarize_run(result, settings, kind=spec.kind, label=label)
+
+
+def _shard_worker(payload):
+    """Process-pool entry point: ``(index, summary_dict)``."""
+    spec, shards, index, barrier_s = payload
+    return index, _execute_one_shard(spec, shards, index, barrier_s).to_dict()
+
+
+def execute_spec_sharded(
+    spec,
+    shards: int,
+    jobs: Optional[int] = None,
+    barrier_s: Optional[float] = None,
+) -> ShardedResult:
+    """Run *spec* as *shards* independent slices and merge the results.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.experiments.parallel.RunSpec`.
+    shards:
+        Cluster slices (must divide the deployment, see
+        :func:`plan_shards`).
+    jobs:
+        Worker processes for the shard fan-out: ``None``/``1`` runs the
+        shards serially in-process, ``0`` uses one process per shard.
+        Serial and process execution produce identical merged summaries.
+    barrier_s:
+        Conservative-sync epoch; default is the spec's checkpoint
+        interval.
+
+    Returns a :class:`ShardedResult`; ``.merged`` is the
+    :class:`RunSummary` a caller would use in place of the unsharded
+    one, ``.parts`` keeps the per-shard summaries for inspection.
+    """
+    plan = plan_shards(spec, shards, barrier_s=barrier_s)
+    barrier = plan.resolve_barrier(spec.interval_s)
+    duration = spec.settings.duration_s
+    barriers = max(1, int(-(-duration // barrier)))  # ceil
+    if shards == 1:
+        from .parallel import execute_spec
+
+        summary = execute_spec(spec)
+        return ShardedResult(
+            merged=summary, parts=[summary], shards=1,
+            barrier_s=barrier, barriers=barriers,
+        )
+
+    workers = shards if jobs is not None and jobs <= 0 else (jobs or 1)
+    workers = min(workers, shards)
+    parts: List[Optional[RunSummary]] = [None] * shards
+    if workers <= 1:
+        for index in range(shards):
+            # Round-trip through the dict form so in-process results are
+            # bit-identical to what a worker process would ship back.
+            parts[index] = RunSummary.from_dict(
+                _execute_one_shard(spec, shards, index, barrier).to_dict()
+            )
+    else:
+        context = multiprocessing.get_context("spawn")
+        payloads = [(spec, shards, index, barrier) for index in range(shards)]
+        with context.Pool(workers) as pool:
+            for index, data in pool.imap_unordered(_shard_worker, payloads):
+                parts[index] = RunSummary.from_dict(data)
+    merged = merge_summaries(parts, label=spec.label or spec.kind, shards=shards)
+    return ShardedResult(
+        merged=merged, parts=parts, shards=shards,
+        barrier_s=barrier, barriers=barriers,
+    )
+
+
+# ----------------------------------------------------------------------
+# merging
+# ----------------------------------------------------------------------
+
+def _merge_timeline(times_parts, values_parts, combine):
+    """Merge per-shard ``(times, values)`` series on the union grid."""
+    merged: dict = {}
+    for times, values in zip(times_parts, values_parts):
+        for t, v in zip(times, values):
+            if t in merged:
+                merged[t] = combine(merged[t], v)
+            else:
+                merged[t] = v
+    keys = sorted(merged)
+    return keys, [merged[t] for t in keys]
+
+
+def merge_summaries(
+    parts: List[RunSummary], label: str = "", shards: Optional[int] = None
+) -> RunSummary:
+    """Combine per-shard summaries into one cluster-level summary.
+
+    Extensive quantities (activity counters, concurrency timelines,
+    per-checkpoint compaction counts) are summed — the shards partition
+    the cluster.  Tail timelines take the worst shard per window, and
+    the run-level tail summary is conservative: p95/p99/p99.9/max are
+    the worst shard's (an upper bound on the cluster tail), p50 is the
+    shard mean.  Checkpoint trigger times come from shard 0 (all shards
+    share the interval); per-shard checkpoint-stat rows are concatenated
+    in shard order.
+    """
+    if not parts:
+        raise ConfigurationError("merge_summaries needs at least one part")
+    if any(p is None for p in parts):
+        raise ConfigurationError("cannot merge: a shard produced no summary")
+    first = parts[0]
+    if len(parts) == 1:
+        return first
+    count = len(parts)
+
+    tails = {}
+    for key in ("p50", "p95", "p99", "p999", "max"):
+        values = [p.tails[key] for p in parts if key in p.tails]
+        if not values:
+            continue
+        tails[key] = (sum(values) / len(values)) if key == "p50" else max(values)
+
+    coarse_t, coarse_v = _merge_timeline(
+        [p.coarse_times for p in parts], [p.coarse_p999 for p in parts], max
+    )
+    fine_t, fine_v = _merge_timeline(
+        [p.fine_times for p in parts], [p.fine_p999 for p in parts], max
+    )
+    conc_t, flush_c = _merge_timeline(
+        [p.concurrency_times for p in parts],
+        [p.flush_concurrency for p in parts],
+        lambda a, b: a + b,
+    )
+    _, comp_c = _merge_timeline(
+        [p.concurrency_times for p in parts],
+        [p.compaction_concurrency for p in parts],
+        lambda a, b: a + b,
+    )
+
+    activities: dict = {}
+    for part in parts:
+        for key, value in part.activities.items():
+            activities[key] = activities.get(key, 0) + value
+
+    alignment: dict = {}
+    for part in parts:
+        for index, by_stage in part.per_checkpoint_compactions.items():
+            row = alignment.setdefault(index, {})
+            for stage, n in by_stage.items():
+                row[stage] = row.get(stage, 0) + n
+
+    suffix = f"[shards={shards or count}]"
+    return RunSummary(
+        kind=first.kind,
+        label=(label or first.kind) + suffix,
+        seed=first.seed,
+        duration_s=first.duration_s,
+        warmup_s=first.warmup_s,
+        fine_window_s=first.fine_window_s,
+        coarse_window_s=first.coarse_window_s,
+        tails=tails,
+        coarse_times=coarse_t,
+        coarse_p999=coarse_v,
+        fine_times=fine_t,
+        fine_p999=fine_v,
+        concurrency_times=conc_t,
+        flush_concurrency=flush_c,
+        compaction_concurrency=comp_c,
+        checkpoint_times=list(first.checkpoint_times),
+        checkpoint_stats=[row for p in parts for row in p.checkpoint_stats],
+        per_checkpoint_compactions=alignment,
+        overlap=dict(first.overlap),
+        activities=activities,
+        fault_plan=dict(first.fault_plan),
+        fault_events=[e for p in parts for e in p.fault_events],
+        invariant_violations=[v for p in parts for v in p.invariant_violations],
+        resilience=dict(first.resilience),
+    )

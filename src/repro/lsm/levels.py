@@ -58,6 +58,21 @@ class LevelManager:
         self._levels: List[List[SSTable]] = [[] for _ in range(options.num_levels)]
         #: Tables currently consumed by a running compaction.
         self._compacting: set = set()
+        #: Structure version: bumped by every mutation of the level
+        #: lists or the compacting set.  Lets pick_compaction() memoize
+        #: a "nothing due" answer — the backend polls it after every
+        #: flush, and most polls find no work.
+        self._version = 0
+        self._no_pick_memo: Tuple[int, int] = (-1, -1)
+        #: Per-level byte totals (ints, so caching is exact); ``None``
+        #: entries are recomputed on demand.  The overflow scan reads
+        #: every level on every post-flush poll, and re-summing table
+        #: lists each time dominates the no-op path.
+        self._bytes_cache: List[Optional[int]] = [None] * options.num_levels
+        self._limit_cache: List[float] = [
+            options.max_bytes_for_level(level)
+            for level in range(1, options.num_levels)
+        ]
 
     # ------------------------------------------------------------------
     # structure
@@ -76,7 +91,11 @@ class LevelManager:
         return len(self._levels[0])
 
     def level_bytes(self, index: int) -> int:
-        return sum(t.logical_bytes for t in self._levels[index])
+        cached = self._bytes_cache[index]
+        if cached is None:
+            cached = sum(t.logical_bytes for t in self._levels[index])
+            self._bytes_cache[index] = cached
+        return cached
 
     def total_bytes(self) -> int:
         return sum(self.level_bytes(i) for i in range(self.num_levels))
@@ -94,6 +113,8 @@ class LevelManager:
         if table.level != 0:
             raise LSMError(f"table {table!r} is not an L0 table")
         self._levels[0].insert(0, table)
+        self._version += 1
+        self._bytes_cache[0] = None
 
     def apply_compaction(self, pick: CompactionPick, output: SSTable) -> None:
         """Replace *pick*'s inputs with *output* at the target level."""
@@ -110,6 +131,8 @@ class LevelManager:
         # keep deeper levels ordered by key for non-overlap invariants
         if pick.target_level >= 1:
             target.sort(key=lambda t: (t.min_key or b""))
+        self._version += 1
+        self._bytes_cache = [None] * len(self._levels)
 
     # ------------------------------------------------------------------
     # compaction picking
@@ -127,11 +150,27 @@ class LevelManager:
 
         Priority mirrors RocksDB's leveled strategy: L0 file-count
         pressure first, then the most over-sized deeper level.
+
+        A "nothing due" answer is memoized against the structure
+        version and the trigger in force — the poll after every flush
+        mostly finds no work, and rescanning the levels each time is
+        measurable.  Trigger policies are stable between ``advance()``
+        calls (no RNG draw per read), so the memo key is exact.
         """
-        pick = self._pick_l0(trigger)
-        if pick is not None:
-            return pick
-        return self._pick_overflow()
+        effective = (
+            trigger if trigger is not None else self.options.effective_l0_trigger()
+        )
+        if self._no_pick_memo == (self._version, effective):
+            return None
+        pick = self._pick_l0(effective)
+        if pick is None:
+            pick = self._pick_overflow()
+        if pick is None:
+            self._no_pick_memo = (self._version, effective)
+            return None
+        # the pick claimed its inputs (_compacting grew): new structure
+        self._version += 1
+        return pick
 
     def _pick_l0(self, trigger: Optional[int]) -> Optional[CompactionPick]:
         if trigger is None:
@@ -167,7 +206,7 @@ class LevelManager:
         worst_level = None
         worst_ratio = 1.0
         for level in range(1, self.num_levels - 1):
-            limit = self.options.max_bytes_for_level(level)
+            limit = self._limit_cache[level - 1]
             ratio = self.level_bytes(level) / limit if limit else 0.0
             if ratio > worst_ratio:
                 worst_level = level
@@ -219,6 +258,7 @@ class LevelManager:
         """Release *pick*'s inputs without applying it."""
         for table in pick.inputs:
             self._compacting.discard(table.table_id)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # checkpoint snapshot / restore
@@ -244,6 +284,8 @@ class LevelManager:
             )
         self._levels = [list(level) for level in snapshot]
         self._compacting = set()
+        self._version += 1
+        self._bytes_cache = [None] * len(self._levels)
 
     # ------------------------------------------------------------------
     # invariants (used heavily by property tests)

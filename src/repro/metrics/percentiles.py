@@ -15,6 +15,7 @@ window, as in the paper's figures).
 
 from __future__ import annotations
 
+import bisect
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -201,11 +202,50 @@ def windowed_quantile(
     boundaries = np.append(first, len(bins_sorted))
     out_times: List[float] = []
     out_values: List[float] = []
-    for b, lo, hi in zip(unique_bins, boundaries[:-1], boundaries[1:]):
-        v = values_sorted[lo:hi]
+    bins_list = unique_bins.tolist()
+    lo_list = boundaries[:-1].tolist()
+    hi_list = boundaries[1:].tolist()
+    # The fine 50 ms timelines have thousands of windows holding only a
+    # handful of points each, where per-window numpy calls cost more
+    # than the arithmetic.  Sequential Python float math is bit-equal
+    # to numpy for fewer than 8 addends (pairwise summation starts at
+    # 8), so small weighted windows take a list-based path replicating
+    # np.cumsum / ndarray.sum / np.interp op-for-op; larger windows
+    # keep the original numpy expressions.
+    vals = values_sorted.tolist() if weights_sorted is not None else None
+    wts = weights_sorted.tolist() if weights_sorted is not None else None
+    for b, lo, hi in zip(bins_list, lo_list, hi_list):
         if weights_sorted is None:
             out_times.append(start + b * window)
-            out_values.append(float(np.quantile(v, quantile)))
+            out_values.append(float(np.quantile(values_sorted[lo:hi], quantile)))
+            continue
+        if hi - lo < 8:
+            total = 0.0
+            for i in range(lo, hi):
+                total += wts[i]
+            if total <= 0:
+                continue
+            x = quantile * total
+            running = 0.0
+            cum = []
+            for i in range(lo, hi):
+                wv = wts[i]
+                running += wv
+                cum.append(running - 0.5 * wv)
+            if x <= cum[0]:
+                res = vals[lo]
+            elif x >= cum[-1]:
+                res = vals[hi - 1]
+            else:
+                j = bisect.bisect_right(cum, x) - 1
+                cj = cum[j]
+                if cj == x:
+                    res = vals[lo + j]
+                else:
+                    slope = (vals[lo + j + 1] - vals[lo + j]) / (cum[j + 1] - cj)
+                    res = slope * (x - cj) + vals[lo + j]
+            out_times.append(start + b * window)
+            out_values.append(res)
             continue
         w = weights_sorted[lo:hi]
         total = w.sum()
@@ -213,7 +253,9 @@ def windowed_quantile(
             continue
         cumulative = np.cumsum(w) - 0.5 * w
         out_times.append(start + b * window)
-        out_values.append(float(np.interp(quantile * total, cumulative, v)))
+        out_values.append(
+            float(np.interp(quantile * total, cumulative, values_sorted[lo:hi]))
+        )
     return np.array(out_times), np.array(out_values)
 
 

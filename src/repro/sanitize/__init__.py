@@ -162,6 +162,7 @@ def sanitize_experiment(
     storage: str = "tmpfs",
     mitigation=None,
     perturbations: int = 8,
+    shards: int = 1,
 ) -> SanitizeReport:
     """Run the race detector and ordering checks on one benchmark.
 
@@ -169,6 +170,11 @@ def sanitize_experiment(
     windowed state digests, then checks the baseline run's summary and
     spec for insertion-order independence.  Cache-free by construction:
     both runs execute live, so a poisoned cache cannot mask a race.
+
+    ``shards = G`` sanitizes the sharded mode: the probed job is the
+    1/G cluster slice a sharded worker executes (see
+    :mod:`repro.experiments.shard`), so both the perturbed-schedule
+    digests and the ordering checks cover that topology.
     """
     from ..experiments.parallel import RunSpec
     from ..experiments.runner import ExperimentSettings
@@ -181,11 +187,13 @@ def sanitize_experiment(
         interval_s=interval_s,
         storage=storage,
         mitigation=mitigation,
+        shards=shards,
     )
     baseline = run_probe(factory, duration_s, window_s, "fifo")
     perturbed = run_probe(factory, duration_s, window_s, "lifo")
+    label = kind if shards == 1 else f"{kind}/shards={shards}"
     race = diff_probes(
-        baseline, perturbed, label=kind, duration_s=duration_s
+        baseline, perturbed, label=label, duration_s=duration_s
     )
 
     settings = ExperimentSettings(

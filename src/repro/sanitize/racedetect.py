@@ -442,8 +442,14 @@ def experiment_factory(
     storage: str = "tmpfs",
     mitigation=None,
     initial_l0="aligned",
+    shards: int = 1,
 ) -> Callable[[str], ProbeTarget]:
-    """A probe factory over the standard benchmark jobs."""
+    """A probe factory over the standard benchmark jobs.
+
+    ``shards = G`` probes a 1/G cluster slice — the exact topology a
+    sharded run (:mod:`repro.experiments.shard`) executes per worker —
+    so the race detector covers the sharded mode too.
+    """
     from ..apps.traffic_job import build_traffic_job
     from ..apps.wordcount_job import build_wordcount_job
     from ..storage.backend import profile_by_name
@@ -460,6 +466,7 @@ def experiment_factory(
                 seed=seed,
                 tracer=tracer,
                 tie_break=tie_break,
+                scale=shards,
             )
         else:
             job = build_traffic_job(
@@ -470,6 +477,7 @@ def experiment_factory(
                 seed=seed,
                 tracer=tracer,
                 tie_break=tie_break,
+                scale=shards,
             )
         return job_probe_target(job)
 

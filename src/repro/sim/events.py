@@ -4,7 +4,14 @@ An :class:`Event` couples a firing time with a callback.  Events are
 totally ordered by ``(time, priority, sequence)`` so that simultaneous
 events fire deterministically in scheduling order unless a priority says
 otherwise.  Cancellation is lazy: a cancelled event stays in the heap but
-is skipped when popped, which keeps cancellation O(1).
+is skipped when popped, which keeps cancellation O(1); when dead entries
+outnumber live ones the heap is compacted in place so cancellation-heavy
+workloads (e.g. completion reschedules) stay O(live) instead of O(pushed).
+
+The heap stores ``(time, priority, seq, event)`` tuples rather than the
+events themselves: tuple comparison settles on the unique ``seq`` before
+ever reaching the event object, so ordering costs no Python-level
+``__lt__`` calls — by far the hottest path in large simulations.
 """
 
 from __future__ import annotations
@@ -73,6 +80,9 @@ class Event:
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: Event) -> bool:
+        # Heap ordering no longer touches this (the heap compares the
+        # (time, priority, seq) tuple prefix of its entries); kept for
+        # callers that sort Event handles directly.
         return self._key() < other._key()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -91,6 +101,11 @@ class EventQueue:
     total order stays strict either way.
     """
 
+    #: Heap size below which cancellation never triggers compaction —
+    #: small heaps are cheap to walk and compaction bookkeeping would
+    #: dominate.
+    COMPACT_MIN = 512
+
     def __init__(self, tie_break: str = "fifo") -> None:
         if tie_break not in TIE_BREAKS:
             raise ValueError(
@@ -98,9 +113,13 @@ class EventQueue:
             )
         self.tie_break = tie_break
         self._seq_sign = 1 if tie_break == "fifo" else -1
-        self._heap: list[Event] = []
+        # Entries are (time, priority, seq, event); seq is unique, so
+        # tuple comparison never falls through to the Event object.
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count(start=1)
         self._live = 0
+        #: Number of in-place heap compactions performed (diagnostics).
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -110,6 +129,20 @@ class EventQueue:
 
     def _note_cancelled(self) -> None:
         self._live -= 1
+        heap = self._heap
+        if len(heap) >= self.COMPACT_MIN and self._live * 2 < len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, keeping list identity.
+
+        In-place (slice assignment) so run loops holding a reference to
+        the heap list never observe a stale object.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[3]._cancelled]
+        heapq.heapify(heap)
+        self.compactions += 1
 
     def push(
         self,
@@ -119,30 +152,32 @@ class EventQueue:
         priority: int = NORMAL_PRIORITY,
     ) -> Event:
         """Schedule *callback* at *time* and return its handle."""
-        event = Event(
-            time, priority, self._seq_sign * next(self._counter), callback, args,
-            queue=self,
-        )
-        heapq.heappush(self._heap, event)
+        seq = self._seq_sign * next(self._counter)
+        event = Event(time, priority, seq, callback, args, queue=self)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or ``None`` if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            return event
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if not event._cancelled:
+                self._live -= 1
+                # Detach so a late cancel() on the popped handle cannot
+                # decrement the live count a second time.
+                event._queue = None
+                return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heapq.heappop(heap)
+        if heap:
+            return heap[0][0]
         return None
 
     def discard(self, event: Event) -> None:

@@ -259,13 +259,22 @@ class FluidFlow:
             self.segments.append(segment)
 
     def _schedule_empty_event(self, now: float) -> None:
-        if self._empty_event is not None:
-            self._empty_event.cancel()
-            self._empty_event = None
+        pending = self._empty_event
         drain = self._serve_rate - self.arrival_rate
-        if self.queue > _EPS and drain > _EPS:
-            when = now + self.queue / drain
+        queue = self.queue
+        if queue > _EPS and drain > _EPS:
+            when = now + queue / drain
+            if pending is not None:
+                if not pending._cancelled and pending.time == when:
+                    # Reallocation left the drain trajectory unchanged;
+                    # keep the pending wake-up instead of heap churn.
+                    # Exact float equality only.
+                    return
+                pending.cancel()
             self._empty_event = self.sim.schedule(when, self._on_queue_empty)
+        elif pending is not None:
+            pending.cancel()
+            self._empty_event = None
 
     def _on_queue_empty(self) -> None:
         self._empty_event = None

@@ -29,14 +29,23 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+import numpy as np
+
 from ..errors import SimulationError
 from .events import Event, LOW_PRIORITY
+from .fluid import FlowSegment, _NOTIFY_TOLERANCE
 from .kernel import Simulator
 
 __all__ = ["ResourceTask", "ProcessorSharingResource"]
 
 #: Queue lengths below this are treated as empty (float hygiene).
 _EPS = 1e-9
+
+#: Flow count at which :meth:`ProcessorSharingResource.reallocate`
+#: switches to the numpy gather/scatter path.  Below this the per-array
+#: overhead exceeds the saved Python calls, so small resources keep the
+#: scalar loop.  Both paths are elementwise IEEE-754 identical.
+_VECTOR_MIN_FLOWS = 8
 
 
 class ResourceTask:
@@ -65,7 +74,6 @@ class ResourceTask:
         "start_time",
         "end_time",
         "metadata",
-        "_completion_event",
     )
 
     def __init__(
@@ -91,7 +99,6 @@ class ResourceTask:
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
         self.metadata = metadata or {}
-        self._completion_event: Optional[Event] = None
 
     @property
     def done(self) -> bool:
@@ -121,6 +128,26 @@ class ProcessorSharingResource:
         #: Observers called with (task, "start"|"end") for span metrics.
         self.task_observers: List[Callable[[ResourceTask, str], None]] = []
         self._realloc_scheduled = False
+        # Reallocation at the same timestamp with no intervening consumer
+        # mutation is a pure no-op (sync integrates nothing, demands and
+        # rates recompute to the same values, every record dedups); the
+        # dirty flag lets reallocate() skip the recomputation outright.
+        # Every mutation source — submit/complete, capacity changes, and
+        # all flow updates (which funnel through request_reallocation) —
+        # sets it.
+        self._dirty = True
+        self._last_realloc_time: Optional[float] = None
+        # Completion wheel: one pending kernel event per resource, aimed
+        # at the earliest task finish, instead of one event per task.  A
+        # reallocation that changes every task's rate then cancels and
+        # pushes a single event rather than N — the bulk of all heap
+        # traffic in flush/compaction-heavy runs.
+        self._wheel_event: Optional[Event] = None
+        self._wheel_task: Optional[ResourceTask] = None
+        # Cached (count, work_per_message[], max_parallelism[]) arrays
+        # for the vectorized reallocation path; rebuilt when flows are
+        # added (both attributes are fixed at flow construction).
+        self._flow_static: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # consumer registration
@@ -129,7 +156,9 @@ class ProcessorSharingResource:
     def add_flow(self, flow) -> None:
         """Attach a :class:`~repro.sim.fluid.FluidFlow` to this resource."""
         self._flows.append(flow)
+        self._flow_static = None
         flow._attached(self)
+        self._dirty = True
         self.reallocate()
 
     def submit(self, task: ResourceTask) -> ResourceTask:
@@ -139,6 +168,7 @@ class ProcessorSharingResource:
         self._tasks.append(task)
         for observer in self.task_observers:
             observer(task, "start")
+        self._dirty = True
         self.reallocate()
         return task
 
@@ -165,14 +195,16 @@ class ProcessorSharingResource:
             raise SimulationError(f"resource {self.name!r}: capacity must be > 0")
         if capacity != self.capacity:
             self.capacity = capacity
+            self._dirty = True
             self.reallocate()
 
     def request_reallocation(self) -> None:
         """Coalesce multiple same-time reallocation triggers into one."""
+        self._dirty = True
         if self._realloc_scheduled:
             return
         self._realloc_scheduled = True
-        self.sim.schedule(self.sim.now, self._deferred_realloc, priority=LOW_PRIORITY)
+        self.sim._queue.push(self.sim.now, self._deferred_realloc, (), LOW_PRIORITY)
 
     def _deferred_realloc(self) -> None:
         self._realloc_scheduled = False
@@ -181,45 +213,262 @@ class ProcessorSharingResource:
     def reallocate(self) -> None:
         """Recompute every consumer's share; reschedule completions.
 
-        Called whenever the consumer set or any demand changes.
+        Called whenever the consumer set or any demand changes.  Large
+        flow populations take the vectorized gather/scatter path; both
+        paths produce bitwise-identical state.
         """
         now = self.sim.now
-        self._sync_tasks(now)
-        for flow in self._flows:
+        if not self._dirty and now == self._last_realloc_time:
+            return
+        self._dirty = False
+        self._last_realloc_time = now
+        # _sync_tasks(now), inlined (hot: every realloc passes here)
+        elapsed = now - self._last_sync
+        if elapsed > 0:
+            for task in self._tasks:
+                task.remaining = max(0.0, task.remaining - task.rate * elapsed)
+        self._last_sync = now
+        if len(self._flows) >= _VECTOR_MIN_FLOWS:
+            used = self._reallocate_vectorized(now)
+        else:
+            used = self._reallocate_scalar(now)
+        # _record_util(now, used), inlined
+        used = min(used, self.capacity)
+        segments = self.util_segments
+        if segments and abs(segments[-1][0] - now) < _EPS:
+            segments[-1] = (now, used)
+        elif not segments or abs(segments[-1][1] - used) > 1e-6:
+            segments.append((now, used))
+
+    def _reallocate_scalar(self, now: float) -> float:
+        """Per-flow loop with the fluid formulas inlined.
+
+        Mirrors ``FluidFlow.current_demand`` / ``escalated_demand`` /
+        ``apply_allocation`` expression-for-expression (the flow methods
+        remain the readable reference, and the vectorized path mirrors
+        the same math) — the inlining exists because this runs tens of
+        thousands of times per experiment.
+        """
+        flows = self._flows
+        tasks = self._tasks
+        task_demand = 0.0
+        for task in tasks:
+            task_demand += task.demand
+        capacity = self.capacity
+
+        if not flows:
+            # Task-only pools (flush/compaction storage): no fluid
+            # demand fixpoint, just proportional scaling of task rates.
+            scale = 1.0 if task_demand <= capacity else capacity / task_demand
+            used = 0.0
+            for task in tasks:
+                task.rate = task.demand * scale
+                used += task.rate
+            self._rewheel(now)
+            return used
+
+        demands = []
+        keep_ups = []
+        availables = []
+        demand_sum = 0.0
+        for flow in flows:
             flow.sync(now)
+            unblocked = 1.0 - flow.blocked_fraction
+            available = flow.max_parallelism * unblocked
+            keep_up = (flow.arrival_rate * unblocked) * flow.work_per_message
+            availables.append(available)
+            keep_ups.append(keep_up)
+            if flow._queue > _EPS:
+                demand = available
+            else:
+                demand = min(available, keep_up)
+            demands.append(demand)
+            demand_sum += demand
 
         # Fixpoint over flow demand escalation: a flow that would be
         # underserved at its keep-up demand becomes backlogged and raises
         # its demand to its parallelism cap.  Demands only ever increase
-        # inside this loop, so it terminates.
-        demands = {id(flow): flow.current_demand() for flow in self._flows}
-        task_demand = sum(task.demand for task in self._tasks)
-        for _ in range(len(self._flows) + 1):
-            total = task_demand + sum(demands.values())
-            scale = 1.0 if total <= self.capacity else self.capacity / total
+        # inside this loop, so it terminates.  ``demand_sum`` is rebuilt
+        # sequentially after any change — incremental adjustment would
+        # round differently from the reference ``sum(demands)``.
+        for _ in range(len(flows) + 1):
+            total = task_demand + demand_sum
+            scale = 1.0 if total <= capacity else capacity / total
             changed = False
-            for flow in self._flows:
-                alloc = demands[id(flow)] * scale
-                escalated = flow.escalated_demand(alloc)
-                if escalated is not None and escalated > demands[id(flow)] + _EPS:
-                    demands[id(flow)] = escalated
+            for i, flow in enumerate(flows):
+                if (
+                    flow._queue <= _EPS
+                    and demands[i] * scale + _EPS < keep_ups[i]
+                    and availables[i] > demands[i] + _EPS
+                ):
+                    demands[i] = availables[i]
                     changed = True
             if not changed:
                 break
+            demand_sum = 0.0
+            for demand in demands:
+                demand_sum += demand
 
-        total = task_demand + sum(demands.values())
-        scale = 1.0 if total <= self.capacity else self.capacity / total
+        total = task_demand + demand_sum
+        scale = 1.0 if total <= capacity else capacity / total
+
+        used = 0.0
+        for task in tasks:
+            task.rate = task.demand * scale
+            used += task.rate
+        self._rewheel(now)
+        sim = self.sim
+        for i, flow in enumerate(flows):
+            alloc = demands[i] * scale
+            flow._alloc = alloc
+            wpm = flow.work_per_message
+            arrival = flow.arrival_rate
+            capacity_msgs = alloc / wpm
+            servable = arrival * (1.0 - flow.blocked_fraction)
+            queue = flow._queue  # synced to `now` in the demand pass
+            if queue > _EPS:
+                serve = capacity_msgs
+            else:
+                serve = min(servable, capacity_msgs)
+            flow._serve_rate = serve
+
+            # FluidFlow._record_segment(now), inlined (the flow methods
+            # remain the readable reference; see the docstring above).
+            flow._history = None
+            segments = flow.segments
+            segment = FlowSegment(
+                now, arrival, serve, queue, flow.blocked_fraction, alloc
+            )
+            if segments and abs(segments[-1].time - now) < _EPS:
+                segments[-1] = segment
+            else:
+                segments.append(segment)
+
+            # FluidFlow._schedule_empty_event(now), inlined
+            pending = flow._empty_event
+            drain = serve - arrival
+            if queue > _EPS and drain > _EPS:
+                when = now + queue / drain
+                if pending is None or pending._cancelled or pending.time != when:
+                    if pending is not None:
+                        pending.cancel()
+                    flow._empty_event = sim._queue.push(when, flow._on_queue_empty)
+            elif pending is not None:
+                pending.cancel()
+                flow._empty_event = None
+
+            # FluidFlow._notify_output(), inlined
+            last = flow._last_notified_output
+            reference = last if last > 1.0 else 1.0
+            if abs(serve - last) / reference > _NOTIFY_TOLERANCE:
+                flow._last_notified_output = serve
+                for listener in flow.output_listeners:
+                    listener(serve)
+
+            used += serve * wpm
+        return used
+
+    def _flow_arrays(self) -> tuple:
+        static = self._flow_static
+        if static is None or static[0] != len(self._flows):
+            flows = self._flows
+            static = (
+                len(flows),
+                np.array([f.work_per_message for f in flows], dtype=float),
+                np.array([f.max_parallelism for f in flows], dtype=float),
+            )
+            self._flow_static = static
+        return static
+
+    def _reallocate_vectorized(self, now: float) -> float:
+        """Batched reallocation: one numpy op per formula, N flows each.
+
+        Mirrors ``FluidFlow.sync`` / ``current_demand`` /
+        ``escalated_demand`` / ``apply_allocation`` exactly: every
+        elementwise float64 op matches the scalar expression order, and
+        totals use sequential Python ``sum`` (numpy's pairwise ``np.sum``
+        rounds differently), so results are bitwise identical to the
+        scalar path.
+        """
+        flows = self._flows
+        _, wpm, max_par = self._flow_arrays()
+        arrival = np.array([f.arrival_rate for f in flows], dtype=float)
+        blocked = np.array([f.blocked_fraction for f in flows], dtype=float)
+        qv = np.array([f._queue for f in flows], dtype=float)
+        serve_prev = np.array([f._serve_rate for f in flows], dtype=float)
+        last_sync = np.array([f._last_sync for f in flows], dtype=float)
+
+        # --- batched FluidFlow.sync(now) ---
+        elapsed = now - last_sync
+        if (elapsed > 0.0).any():
+            inflow = arrival * elapsed
+            outflow = serve_prev * elapsed
+            served = np.minimum(outflow, qv + inflow)
+            new_q = np.maximum(0.0, qv + inflow - outflow)
+            active_list = (elapsed > 0.0).tolist()
+            inflow_list = inflow.tolist()
+            served_list = served.tolist()
+            new_q_list = new_q.tolist()
+            for i, flow in enumerate(flows):
+                if active_list[i]:
+                    flow.total_arrived += inflow_list[i]
+                    flow.total_served += served_list[i]
+                    flow._queue = new_q_list[i]
+                flow._last_sync = now
+            qv = np.where(elapsed > 0.0, new_q, qv)
+        else:
+            for flow in flows:
+                flow._last_sync = now
+
+        # --- batched current_demand / escalation fixpoint ---
+        unblocked = 1.0 - blocked
+        available = max_par * unblocked
+        keep_up_units = (arrival * unblocked) * wpm
+        backlogged = qv > _EPS
+        demands = np.where(
+            backlogged, available, np.minimum(available, keep_up_units)
+        )
+        task_demand = sum(task.demand for task in self._tasks)
+        capacity = self.capacity
+        for _ in range(len(flows) + 1):
+            total = task_demand + sum(demands.tolist())
+            scale = 1.0 if total <= capacity else capacity / total
+            escalate = (
+                ~backlogged
+                & (demands * scale + _EPS < keep_up_units)
+                & (available > demands + _EPS)
+            )
+            if not escalate.any():
+                break
+            demands = np.where(escalate, available, demands)
+
+        total = task_demand + sum(demands.tolist())
+        scale = 1.0 if total <= capacity else capacity / total
 
         used = 0.0
         for task in self._tasks:
             task.rate = task.demand * scale
             used += task.rate
-            self._reschedule_completion(task, now)
-        for flow in self._flows:
-            alloc = demands[id(flow)] * scale
-            used += flow.apply_allocation(alloc, now)
+        self._rewheel(now)
 
-        self._record_util(now, used)
+        # --- batched apply_allocation ---
+        alloc = demands * scale
+        capacity_msgs = alloc / wpm
+        servable = arrival * unblocked
+        serve = np.where(
+            backlogged, capacity_msgs, np.minimum(servable, capacity_msgs)
+        )
+        alloc_list = alloc.tolist()
+        serve_list = serve.tolist()
+        used_list = (serve * wpm).tolist()
+        for i, flow in enumerate(flows):
+            flow._alloc = alloc_list[i]
+            flow._serve_rate = serve_list[i]
+            flow._record_segment(now)
+            flow._schedule_empty_event(now)
+            flow._notify_output()
+            used += used_list[i]
+        return used
 
     def _sync_tasks(self, now: float) -> None:
         elapsed = now - self._last_sync
@@ -228,14 +477,48 @@ class ProcessorSharingResource:
                 task.remaining = max(0.0, task.remaining - task.rate * elapsed)
         self._last_sync = now
 
-    def _reschedule_completion(self, task: ResourceTask, now: float) -> None:
-        if task._completion_event is not None:
-            task._completion_event.cancel()
-        if task.rate <= 0:
-            task._completion_event = None
+    def _rewheel(self, now: float) -> None:
+        """Re-aim the completion wheel at the earliest task finish.
+
+        Finish times are recomputed as ``now + remaining / rate`` exactly
+        as the per-task schedule always did, so the wheel fires at the
+        identical float instants; ties keep task-list (submission) order.
+        Exact float equality elides the cancel+push when the minimum is
+        unchanged — any rounding difference must reschedule (the model's
+        tails are sensitive even to last-ulp shifts in completion times,
+        so approximate elision is off-limits).
+        """
+        best = None
+        best_task = None
+        for task in self._tasks:
+            rate = task.rate
+            if rate <= 0:
+                continue
+            finish = now + task.remaining / rate
+            if best is None or finish < best:
+                best = finish
+                best_task = task
+        pending = self._wheel_event
+        if best_task is None:
+            if pending is not None:
+                pending.cancel()
+                self._wheel_event = None
+            self._wheel_task = None
             return
-        finish = now + task.remaining / task.rate
-        task._completion_event = self.sim.schedule(finish, self._complete, task)
+        self._wheel_task = best_task
+        if pending is not None:
+            if not pending._cancelled and pending.time == best:
+                return
+            pending.cancel()
+        # direct queue push: best >= now by construction, so the
+        # schedule() past-time guard is redundant on this path
+        self._wheel_event = self.sim._queue.push(best, self._wheel_fire)
+
+    def _wheel_fire(self) -> None:
+        task = self._wheel_task
+        self._wheel_event = None
+        self._wheel_task = None
+        self._complete(task)
 
     def _complete(self, task: ResourceTask) -> None:
         now = self.sim.now
@@ -243,8 +526,8 @@ class ProcessorSharingResource:
         task.remaining = 0.0
         task.end_time = now
         task.rate = 0.0
-        task._completion_event = None
         self._tasks.remove(task)
+        self._dirty = True
         for observer in self.task_observers:
             observer(task, "end")
         if task.on_complete is not None:

@@ -67,6 +67,7 @@ class StreamJob:
         seed: int = 0,
         accounting_dt: float = 1.0,
         sample_real_state: bool = True,
+        coalesce_accounting: bool = True,
         tracer: Optional[Tracer] = None,
         faults=None,
         resilience=None,
@@ -86,6 +87,13 @@ class StreamJob:
         self.source = source
         self.accounting_dt = accounting_dt
         self.sample_real_state = sample_real_state
+        #: Drive all per-instance accounting ticks from one batched
+        #: process instead of one process per instance.  State-identical
+        #: to the scalar path (the bodies run in the same order at the
+        #: same timestamps) but dispatches one kernel event per tick
+        #: instead of one per instance — the scalar path is kept for the
+        #: determinism A/B test.
+        self.coalesce_accounting = coalesce_accounting
         self._started = False
 
         default_options = LSMOptions()
@@ -352,23 +360,112 @@ class StreamJob:
             if store.memtable_full and instance.flush_in_flight == 0:
                 self.backend.flush_instance(instance, reason="memtable-full")
 
-    def run(self, duration: float) -> StreamJobResult:
-        """Run for *duration* simulated seconds and collect results."""
+    def _account_entries(self) -> list:
+        """Per-instance accounting constants for the batched loop.
+
+        One tuple per stateful instance, in spawn order (stage order,
+        then instance index) — the iteration order is what keeps the
+        batched loop state-identical to one process per instance.
+        """
+        entries = []
+        for stage in self.stages:
+            if not stage.spec.stateful or stage.spec.state_entry_bytes <= 0:
+                continue
+            spec = stage.spec
+            entry_bytes = spec.state_entry_bytes
+            key_space = int(spec.distinct_keys_per_instance) or 997
+            payload = b"x" * min(int(entry_bytes) or 1, 1024)
+            capacity = spec.distinct_keys_per_instance if spec.distinct_keys else None
+            for instance in stage.instances:
+                entries.append((
+                    instance,
+                    instance.store,
+                    stage.flows[instance.node.name],
+                    len(stage.instances_by_node[instance.node.name]),
+                    capacity,
+                    entry_bytes,
+                    key_space,
+                    f"{instance.name}:".encode(),
+                    payload,
+                ))
+        return entries
+
+    def _account_all_loop(self, entries: list):
+        """One kernel event per accounting tick for *all* instances.
+
+        Body-for-body identical to :meth:`_account_loop` (same math,
+        same order), with the per-tick constants precomputed.
+        """
+        dt = self.accounting_dt
+        sample = self.sample_real_state
+        backend_flush = self.backend.flush_instance
+        tick = 0
+        while True:
+            yield dt
+            tick += 1
+            for (instance, store, flow, hosted, capacity, entry_bytes,
+                 key_space, key_prefix, payload) in entries:
+                updates = flow.arrival_rate / hosted * dt
+                if updates <= 0:
+                    continue
+                if capacity is not None:
+                    new_entries = min(
+                        updates, max(0.0, capacity - store.memtable_entries)
+                    )
+                else:
+                    new_entries = updates
+                if new_entries >= 1.0:
+                    store.account(
+                        int(round(new_entries)),
+                        int(round(new_entries * entry_bytes)),
+                    )
+                if sample:
+                    store.put(key_prefix + b"%d" % (tick % key_space), payload)
+                if store.memtable_full and instance.flush_in_flight == 0:
+                    backend_flush(instance, reason="memtable-full")
+
+    def start_run(self) -> None:
+        """Arm the job: source, checkpoints and accounting loops.
+
+        Part of the stepped-execution API used by sharded mode
+        (:mod:`repro.experiments.shard`): ``start_run()`` once, then
+        :meth:`advance_to` in increasing time steps, then
+        :meth:`finish_run`.  :meth:`run` composes the three.
+        """
         if self._started:
             raise SimulationError("a StreamJob can only be run once")
         self._started = True
         self.source.start(self.sim, self.set_source_rate)
         self.coordinator.start()
-        for stage in self.stages:
-            if not stage.spec.stateful or stage.spec.state_entry_bytes <= 0:
-                continue
-            for instance in stage.instances:
-                spawn(
-                    self.sim,
-                    self._account_loop(instance, stage),
-                    name=f"account-{instance.name}",
-                )
-        self.sim.run(until=duration)
+        if self.coalesce_accounting:
+            entries = self._account_entries()
+            if entries:
+                spawn(self.sim, self._account_all_loop(entries), name="account-all")
+        else:
+            for stage in self.stages:
+                if not stage.spec.stateful or stage.spec.state_entry_bytes <= 0:
+                    continue
+                for instance in stage.instances:
+                    spawn(
+                        self.sim,
+                        self._account_loop(instance, stage),
+                        name=f"account-{instance.name}",
+                    )
+
+    def advance_to(self, time: float) -> None:
+        """Advance the armed job's clock exactly to *time*.
+
+        Events are dispatched in the same global order as one
+        uninterrupted run — ``sim.run(until=t)`` leaves the clock at
+        ``t`` and resumes cleanly, so splitting a run into steps is
+        state-identical to running it in one call.
+        """
+        if not self._started:
+            raise SimulationError("advance_to() before start_run()")
+        self.sim.run(until=time)
+
+    def finish_run(self, duration: float) -> StreamJobResult:
+        """Close out flow histories and collect the run's results."""
         for stage in self.stages:
             for flow in stage.flows.values():
                 flow.finalize(self.sim.now)
@@ -377,6 +474,29 @@ class StreamJob:
         if self.resilience is not None:
             self.resilience.finalize(self.sim.now)
         return StreamJobResult(self, duration)
+
+    def run(
+        self, duration: float, barrier_s: Optional[float] = None
+    ) -> StreamJobResult:
+        """Run for *duration* simulated seconds and collect results.
+
+        *barrier_s* advances the clock in lock-step epochs of that many
+        seconds instead of one continuous run — the conservative
+        synchronization window of sharded mode.  The event sequence is
+        identical either way; the epochs only bound how far the clock
+        advances per :meth:`advance_to` call.
+        """
+        self.start_run()
+        if barrier_s is None:
+            self.sim.run(until=duration)
+        else:
+            if barrier_s <= 0:
+                raise ConfigurationError(f"barrier_s must be > 0, got {barrier_s}")
+            now = 0.0
+            while now < duration - 1e-12:
+                now = min(now + barrier_s, duration)
+                self.sim.run(until=now)
+        return self.finish_run(duration)
 
 
 class StreamJobResult:

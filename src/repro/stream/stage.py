@@ -12,7 +12,7 @@ fraction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from ..errors import ConfigurationError
@@ -60,6 +60,35 @@ class StageSpec:
     @property
     def distinct_keys_per_instance(self) -> float:
         return self.distinct_keys / self.parallelism if self.distinct_keys else 0.0
+
+    def scaled(self, divisor: int) -> "StageSpec":
+        """A 1/*divisor* slice of this stage for sharded execution.
+
+        Parallelism and the key space shrink together so the per-instance
+        key share — and therefore memtable saturation and flush sizes —
+        are unchanged.  A singleton stage (parallelism 1, e.g. the
+        traffic job's global ranking stage) is replicated into every
+        shard with its 1/*divisor* key share; any other parallelism must
+        divide evenly or the slice would not mirror the full deployment.
+        """
+        if divisor == 1:
+            return self
+        if divisor < 1:
+            raise ConfigurationError(f"stage {self.name!r}: divisor >= 1")
+        if self.parallelism == 1:
+            parallelism = 1
+        elif self.parallelism % divisor == 0:
+            parallelism = self.parallelism // divisor
+        else:
+            raise ConfigurationError(
+                f"stage {self.name!r}: parallelism {self.parallelism} "
+                f"not divisible by {divisor} shards"
+            )
+        return replace(
+            self,
+            parallelism=parallelism,
+            distinct_keys=self.distinct_keys // divisor,
+        )
 
 
 class StageInstance:
@@ -129,10 +158,12 @@ class Stage:
         hosted = self.instances_by_node.get(node_name, [])
         if not hosted:
             return 0.0
-        blocked = sum(
-            1.0 if (inst.blocked or inst.crashed) else inst.stall_level
-            for inst in hosted
-        )
+        blocked = 0.0
+        for inst in hosted:
+            if inst.blocked or inst.crashed:
+                blocked += 1.0
+            else:
+                blocked += inst.stall_level
         return blocked / len(hosted)
 
     def update_blocked(self, node_name: str) -> None:

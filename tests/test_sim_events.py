@@ -86,3 +86,95 @@ def test_event_carries_args():
     event = queue.pop()
     event.callback(*event.args)
     assert seen == [(1, "x")]
+
+
+def test_lifo_tie_break_reverses_equal_time_order():
+    queue = EventQueue(tie_break="lifo")
+    order = []
+    for i in range(5):
+        queue.push(1.0, lambda i=i: order.append(i))
+    while queue:
+        queue.pop().callback()
+    assert order == [4, 3, 2, 1, 0]
+
+
+def test_cancellation_heavy_heap_compacts():
+    """When dead entries outnumber live ones past COMPACT_MIN, the heap
+    is compacted in place and stays O(live)."""
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(2000)]
+    assert len(queue._heap) == 2000
+    # Cancel 3/4 of the events: crossing the live*2 < heap threshold
+    # must shrink the physical heap, not just mark entries dead.
+    for event in events[::2]:
+        event.cancel()
+    for event in events[1::4]:
+        event.cancel()
+    assert queue.compactions >= 1
+    assert len(queue) == 500
+    # The physical heap stays within 2x the live count (the compaction
+    # threshold), never O(total pushed).
+    assert len(queue._heap) <= 2 * len(queue)
+    # Survivors still pop in time order.
+    times = []
+    while queue:
+        times.append(queue.pop().time)
+    assert times == sorted(times) and len(times) == 500
+
+
+def test_small_heaps_never_compact():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(100)]
+    for event in events:
+        event.cancel()
+    assert queue.compactions == 0
+    assert len(queue) == 0 and queue.pop() is None
+
+
+def test_compaction_preserves_heap_list_identity():
+    """Run loops hold a direct reference to the heap list; compaction
+    must mutate it in place."""
+    queue = EventQueue()
+    heap_ref = queue._heap
+    events = [queue.push(float(i), lambda: None) for i in range(1024)]
+    for event in events[:-1]:
+        event.cancel()
+    assert queue._heap is heap_ref
+    assert queue.pop() is events[-1]
+
+
+def test_live_accounting_survives_compaction_and_pops():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(1500)]
+    for event in events[:1200]:
+        event.cancel()
+    assert len(queue) == 300
+    popped = 0
+    while queue.pop() is not None:
+        popped += 1
+    assert popped == 300 and len(queue) == 0 and not queue
+
+
+def test_peek_time_sweeps_many_cancelled_heads():
+    queue = EventQueue()
+    doomed = [queue.push(float(i), lambda: None) for i in range(50)]
+    survivor = queue.push(99.0, lambda: None)
+    for event in doomed:
+        event.cancel()
+    assert queue.peek_time() == 99.0
+    assert queue.pop() is survivor
+    assert queue.peek_time() is None
+
+
+def test_cancel_after_pop_does_not_corrupt_live_count():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    other = queue.push(2.0, lambda: None)
+    assert queue.pop() is event
+    # Cancelling an already-popped handle flips its flag (callers may
+    # hold stale handles) but must not touch the queue's live count.
+    event.cancel()
+    assert event.cancelled
+    assert len(queue) == 1
+    assert queue.pop() is other
+    assert len(queue) == 0
