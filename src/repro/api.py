@@ -10,12 +10,17 @@ Quickstart::
 
     from repro import api
 
-    result = api.run_traffic(settings=api.ExperimentSettings(
-        duration_s=104.0, warmup_s=32.0, trace=True))
+    result = api.run_scenario(
+        "diurnal_flash",                       # or a custom ScenarioSpec
+        settings=api.ExperimentSettings(
+            duration_s=104.0, warmup_s=32.0, trace=True))
     print(result.tail_summary(start=32.0))
     report = result.millibottleneck_report(start=32.0)
     print(report.attributed_fraction, report.classification)
     result.export_trace("run.trace.json", format="chrome")  # → Perfetto
+
+:func:`run_scenario` is the canonical entry point; ``run_traffic`` and
+``run_wordcount`` remain as deprecated wrappers over it.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from .analysis.millibottleneck import (
     analyze_summary,
     analyze_trace,
 )
+from .apps.join_job import build_join_job
 from .apps.traffic_job import build_traffic_job
 from .apps.wordcount_job import build_wordcount_job
 from .config import CheckpointConfig, ClusterConfig, CostModel
@@ -81,6 +87,18 @@ from .resilience import (
     install_resilience,
 )
 from .resilience.soak import SoakReport, run_soak
+from .scenarios import (
+    SCENARIOS,
+    SOAK_POOL,
+    ScenarioSpec,
+    WorkloadSpec,
+    build_scenario_job,
+    run_scenario,
+    sample_scenario,
+    sample_scenarios,
+    scenario,
+    scenario_names,
+)
 from .sanitize import (
     Finding,
     OrderingReport,
@@ -109,7 +127,18 @@ from .trace import (
 )
 
 __all__ = [
-    # runs
+    # scenarios (the canonical entry point)
+    "run_scenario",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "SCENARIOS",
+    "SOAK_POOL",
+    "scenario",
+    "scenario_names",
+    "sample_scenario",
+    "sample_scenarios",
+    "build_scenario_job",
+    # runs (run_traffic / run_wordcount are deprecated wrappers)
     "run_traffic",
     "run_wordcount",
     "sweep",
@@ -132,6 +161,7 @@ __all__ = [
     # jobs
     "build_traffic_job",
     "build_wordcount_job",
+    "build_join_job",
     "StreamJob",
     "StreamJobResult",
     "StageSpec",

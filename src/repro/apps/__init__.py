@@ -1,5 +1,6 @@
 """Benchmark applications built on the public engine API."""
 
+from .join_job import JOIN_STAGES, build_join_job
 from .traffic_job import INITIAL_L0_PRESETS, TRAFFIC_STAGES, build_traffic_job
 from .wordcount_job import WORDCOUNT_STAGES, build_wordcount_job
 
@@ -9,4 +10,6 @@ __all__ = [
     "build_traffic_job",
     "WORDCOUNT_STAGES",
     "build_wordcount_job",
+    "JOIN_STAGES",
+    "build_join_job",
 ]

@@ -1,0 +1,145 @@
+"""A windowed ad-attribution join with downstream sessionization.
+
+Two event streams share one Kafka topic — ad *impressions* (~70 % of
+the traffic) and ad *clicks* (~30 %) — and meet in a keyed windowed
+join that attributes each click to the impression that caused it.  The
+join buffers every event for the window duration, so unlike the traffic
+job's overwrite-heavy state its working set grows with ``rate ×
+window`` *distinct* keys: memtables fill with fresh entries instead of
+saturating, flushes are large, and both input branches must align on
+the same checkpoint barrier — the two-input topology ShadowSync's
+hidden synchronization hits hardest.  A sessionization stage downstream
+keeps per-user session aggregates over the attributed stream.
+
+Topology (4 nodes x 16 cores, like the traffic deployment)::
+
+    source (1.0) --0.7--> impressions (32, stateless parse) \
+                                                             join (64, windowed state)
+    source       --0.3--> clicks      (32, stateless parse) /      |
+                                                                sessions (16, keyed state)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from ..config import CheckpointConfig, ClusterConfig, CostModel
+from ..core.mitigation import MitigationPlan
+from ..errors import ConfigurationError
+from ..storage.backend import StorageProfile, TMPFS
+from ..stream.engine import StreamJob
+from ..trace import Tracer
+from ..stream.sources import ConstantSource
+from ..stream.stage import SOURCE_INPUT, StageSpec
+from .tenancy import tenant_initial_l0, tenantize
+
+__all__ = ["JOIN_STAGES", "build_join_job"]
+
+#: The two-input topology.  ``join.distinct_keys`` here corresponds to
+#: the default ``rate = 40 000 msg/s`` x ``window_s = 30``; the builder
+#: rescales it when either knob changes.
+JOIN_STAGES = (
+    StageSpec(
+        name="impressions",
+        parallelism=32,
+        selectivity=1.0,
+        stateful=False,
+        work_multiplier=0.5,
+        inputs=(SOURCE_INPUT,),
+        source_fraction=0.7,
+    ),
+    StageSpec(
+        name="clicks",
+        parallelism=32,
+        selectivity=1.0,
+        stateful=False,
+        work_multiplier=0.5,
+        inputs=(SOURCE_INPUT,),
+        source_fraction=0.3,
+    ),
+    StageSpec(
+        name="join",
+        parallelism=64,
+        state_entry_bytes=400.0,
+        distinct_keys=1_200_000,
+        selectivity=0.3,
+        work_multiplier=1.5,
+        inputs=("impressions", "clicks"),
+    ),
+    StageSpec(
+        name="sessions",
+        parallelism=16,
+        state_entry_bytes=800.0,
+        distinct_keys=50_000,
+        selectivity=0.0,
+        work_multiplier=0.5,
+        inputs=("join",),
+    ),
+)
+
+
+def build_join_job(
+    checkpoint_interval_s: float = 8.0,
+    mitigation: Optional[MitigationPlan] = None,
+    storage: StorageProfile = TMPFS,
+    message_rate: float = 40000.0,
+    window_s: float = 30.0,
+    seed: int = 0,
+    cost: Optional[CostModel] = None,
+    tracer: Optional[Tracer] = None,
+    tie_break: str = "fifo",
+    scale: int = 1,
+    source=None,
+    skew: Sequence = (),
+    tenants: int = 1,
+) -> StreamJob:
+    """Assemble the windowed-join / sessionization job.
+
+    ``window_s`` is the join's buffering horizon: its distinct-key count
+    is ``message_rate x window_s`` (every buffered event is a fresh
+    key), which is what makes the join's flush pattern append-heavy
+    instead of overwrite-saturated.
+
+    ``scale = G`` builds a 1/G slice for sharded execution, exactly as
+    the traffic job does: G must divide the node count (4) and every
+    stage's parallelism.
+
+    ``source``/``skew``/``tenants`` as in
+    :func:`~repro.apps.traffic_job.build_traffic_job` (scenario knobs).
+    """
+    if scale < 1:
+        raise ConfigurationError(f"scale must be >= 1, got {scale}")
+    num_nodes = 4
+    if num_nodes % scale != 0:
+        raise ConfigurationError(
+            f"join job: {num_nodes} nodes not divisible into {scale} shards"
+        )
+    if window_s <= 0:
+        raise ConfigurationError(f"window_s must be > 0, got {window_s}")
+    stages = tenantize(
+        tuple(
+            replace(spec, distinct_keys=int(message_rate * window_s))
+            if spec.name == "join"
+            else spec
+            for spec in JOIN_STAGES
+        ),
+        tenants,
+    )
+    return StreamJob(
+        stages=tuple(spec.scaled(scale) for spec in stages),
+        source=source if source is not None else ConstantSource(message_rate / scale),
+        cluster=ClusterConfig(
+            num_nodes=num_nodes // scale, cores_per_node=16, storage=storage
+        ),
+        cost=cost or CostModel(),
+        checkpoint=CheckpointConfig(
+            interval_s=checkpoint_interval_s, first_at_s=checkpoint_interval_s
+        ),
+        mitigation=mitigation,
+        tracer=tracer,
+        initial_l0=tenant_initial_l0({"join": 0, "sessions": 0}, tenants),
+        seed=seed,
+        tie_break=tie_break,
+        skew=skew,
+    )

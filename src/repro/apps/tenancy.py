@@ -1,0 +1,69 @@
+"""Multi-tenant topologies: several jobs sharing one cluster.
+
+A *tenant* is one full copy of an app's stage chain, renamed under a
+``t<i>.`` prefix, sliced to ``1/tenants`` of the parallelism and key
+space (per-instance load is unchanged, exactly like sharded execution)
+and ingesting ``1/tenants`` of the shared source rate.  All copies keep
+running on the *same* nodes — that co-residency is the point: every
+tenant's flushes and compactions land in the shared per-node background
+pools, so one tenant's checkpoint-synchronized LSM maintenance becomes
+another tenant's latency tail (the noisy-neighbor variant of
+ShadowSync's hidden synchronization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..stream.stage import SOURCE_INPUT, StageSpec
+
+__all__ = ["tenantize", "tenant_initial_l0"]
+
+
+def tenantize(stages: Sequence[StageSpec], tenants: int) -> Tuple[StageSpec, ...]:
+    """Replicate *stages* into *tenants* prefixed copies sharing the nodes.
+
+    Every stage's parallelism and key space shrink by ``tenants`` (via
+    :meth:`StageSpec.scaled`, which enforces divisibility), its source
+    share shrinks by ``tenants``, and implicit linear-chain wiring is
+    made explicit so each tenant's chain stays self-contained.
+    """
+    if tenants < 1:
+        raise ConfigurationError(f"tenants must be >= 1, got {tenants}")
+    if tenants == 1:
+        return tuple(stages)
+    out = []
+    for tenant in range(tenants):
+        prefix = f"t{tenant}."
+        previous = None
+        for spec in stages:
+            if spec.inputs is None:
+                inputs = (SOURCE_INPUT,) if previous is None else (previous,)
+            else:
+                inputs = tuple(
+                    name if name == SOURCE_INPUT else prefix + name
+                    for name in spec.inputs
+                )
+            out.append(
+                replace(
+                    spec.scaled(tenants),
+                    name=prefix + spec.name,
+                    inputs=inputs,
+                    source_fraction=spec.source_fraction / tenants,
+                )
+            )
+            previous = prefix + spec.name
+    return tuple(out)
+
+
+def tenant_initial_l0(initial_l0: dict, tenants: int) -> dict:
+    """Remap per-stage initial L0 counters onto the prefixed copies."""
+    if tenants == 1:
+        return initial_l0
+    return {
+        f"t{tenant}.{stage}": phase
+        for tenant in range(tenants)
+        for stage, phase in initial_l0.items()
+    }

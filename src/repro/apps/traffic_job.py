@@ -17,7 +17,7 @@ interval 16 s (§3.2) or 8 s (§3.3/§5).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 from ..config import CheckpointConfig, ClusterConfig, CostModel
 from ..core.mitigation import MitigationPlan
@@ -27,6 +27,7 @@ from ..stream.engine import StreamJob
 from ..trace import Tracer
 from ..stream.sources import ConstantSource
 from ..stream.stage import StageSpec
+from .tenancy import tenant_initial_l0, tenantize
 
 __all__ = ["TRAFFIC_STAGES", "build_traffic_job", "INITIAL_L0_PRESETS"]
 
@@ -80,6 +81,9 @@ def build_traffic_job(
     tracer: Optional[Tracer] = None,
     tie_break: str = "fifo",
     scale: int = 1,
+    source=None,
+    skew: Sequence = (),
+    tenants: int = 1,
 ) -> StreamJob:
     """Assemble the traffic-jam job with the paper's deployment shape.
 
@@ -89,6 +93,12 @@ def build_traffic_job(
     per-node and per-instance load match the full cluster exactly.
     G must divide the node count (4) and every stage's parallelism
     (singleton stages are replicated, see :meth:`StageSpec.scaled`).
+
+    ``source`` overrides the default constant-rate source (scenario
+    workloads pass diurnal or closed-loop sources, already scaled);
+    ``skew`` is a hot-key schedule of ``(at_s, hot_fraction, hot_node)``
+    entries; ``tenants`` replicates the chain into that many copies
+    sharing the nodes (see :mod:`repro.apps.tenancy`).
     """
     if scale < 1:
         raise ConfigurationError(f"scale must be >= 1, got {scale}")
@@ -105,9 +115,10 @@ def build_traffic_job(
                 f"unknown initial_l0 preset {initial_l0!r}; "
                 f"available: {sorted(INITIAL_L0_PRESETS)}"
             ) from None
+    stages = tenantize(TRAFFIC_STAGES, tenants)
     return StreamJob(
-        stages=tuple(spec.scaled(scale) for spec in TRAFFIC_STAGES),
-        source=ConstantSource(message_rate / scale),
+        stages=tuple(spec.scaled(scale) for spec in stages),
+        source=source if source is not None else ConstantSource(message_rate / scale),
         cluster=ClusterConfig(
             num_nodes=num_nodes // scale, cores_per_node=16, storage=storage
         ),
@@ -117,7 +128,8 @@ def build_traffic_job(
         ),
         mitigation=mitigation,
         tracer=tracer,
-        initial_l0=initial_l0,
+        initial_l0=tenant_initial_l0(initial_l0, tenants),
         seed=seed,
         tie_break=tie_break,
+        skew=skew,
     )

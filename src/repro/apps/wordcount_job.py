@@ -10,7 +10,7 @@ flush/compaction pattern that produces ShadowSync, just on one machine.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..config import CheckpointConfig, ClusterConfig, CostModel
 from ..core.mitigation import MitigationPlan
@@ -20,6 +20,7 @@ from ..stream.engine import StreamJob
 from ..trace import Tracer
 from ..stream.sources import ConstantSource
 from ..stream.stage import StageSpec
+from .tenancy import tenant_initial_l0, tenantize
 
 __all__ = ["WORDCOUNT_STAGES", "build_wordcount_job"]
 
@@ -54,6 +55,9 @@ def build_wordcount_job(
     tracer: Optional[Tracer] = None,
     tie_break: str = "fifo",
     scale: int = 1,
+    source=None,
+    skew: Sequence = (),
+    tenants: int = 1,
 ) -> StreamJob:
     """Assemble the single-node WordCount job.
 
@@ -64,6 +68,9 @@ def build_wordcount_job(
     node is sliced by *cores* (16/G cores, 64/G partitions, 1/G of the
     sentence rate), keeping per-core load identical.  The per-message
     CPU cost is intensive and does not scale.
+
+    ``source``/``skew``/``tenants`` as in
+    :func:`~repro.apps.traffic_job.build_traffic_job` (scenario knobs).
     """
     cores_per_node = 16
     if scale < 1:
@@ -77,9 +84,10 @@ def build_wordcount_job(
         # 25 k msg/s through two steps on 16 cores at ~70 % average CPU
         # (the paper's reported Kafka-node utilization).
         cost = CostModel(cpu_seconds_per_message=16 * 0.70 / (2 * 25000.0))
+    stages = tenantize(WORDCOUNT_STAGES, tenants)
     return StreamJob(
-        stages=tuple(spec.scaled(scale) for spec in WORDCOUNT_STAGES),
-        source=ConstantSource(sentence_rate / scale),
+        stages=tuple(spec.scaled(scale) for spec in stages),
+        source=source if source is not None else ConstantSource(sentence_rate / scale),
         cluster=ClusterConfig(
             num_nodes=1, cores_per_node=cores_per_node // scale, storage=storage
         ),
@@ -89,7 +97,8 @@ def build_wordcount_job(
         ),
         mitigation=mitigation,
         tracer=tracer,
-        initial_l0={"count": 0},
+        initial_l0=tenant_initial_l0({"count": 0}, tenants),
         seed=seed,
         tie_break=tie_break,
+        skew=skew,
     )

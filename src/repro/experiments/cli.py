@@ -7,10 +7,13 @@ Usage::
     python -m repro run fig12 --jobs 8     # fan the sweep across cores
     python -m repro run table1
     python -m repro run headline --trace   # record traces alongside
+    python -m repro scenarios list         # the named scenario library
+    python -m repro scenarios show windowed_join
+    python -m repro run --scenario diurnal_flash [--faults crash]
     python -m repro trace fig8             # trace + millibottleneck report
     python -m repro trace fig8 --chrome    # Perfetto-loadable trace file
-    python -m repro soak                   # chaos-soak: faults + SLO audit
-    python -m repro soak --seeds 1 2 3 --random --duration 300
+    python -m repro soak                   # chaos-soak over the library
+    python -m repro soak --kind windowed_join --seeds 1 2 3 --random
     python -m repro compare                # baseline vs solution summary
     python -m repro cache info             # inspect the result cache
     python -m repro cache clear
@@ -95,8 +98,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
-    run = sub.add_parser("run", help="run one experiment and print its report")
-    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run = sub.add_parser(
+        "run",
+        help="run one experiment (or one library scenario) and print its "
+             "report",
+    )
+    run.add_argument("experiment", nargs="?", choices=sorted(EXPERIMENTS),
+                     help="paper experiment to regenerate (omit when using "
+                          "--scenario)")
+    run.add_argument("--scenario", default=None, metavar="NAME",
+                     help="run one library scenario through the unified "
+                          "run_scenario path instead of a paper "
+                          "experiment ('repro scenarios list' for names)")
     run.add_argument("--duration", type=float, default=200.0,
                      help="simulated seconds (default 200)")
     run.add_argument("--warmup", type=float, default=40.0,
@@ -124,6 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "compaction-stall, slow-disk, checkpoint-timeout, "
                           "backpressure, chaos), a JSON file path, or inline "
                           "JSON")
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list the named scenario library or show one spec "
+             "(serialized form + cache-key payload)",
+    )
+    scenarios.add_argument("action", choices=("list", "show"))
+    scenarios.add_argument("name", nargs="?", default=None,
+                           help="scenario name (required for 'show')")
+    scenarios.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON")
 
     trace = sub.add_parser(
         "trace",
@@ -163,8 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
              "pipeline and audit SLO recovery, exactly-once invariants and "
              "queue bounds (exit 1 on any failure)",
     )
-    soak.add_argument("--kind", choices=("traffic", "wordcount"),
-                      default="traffic")
+    soak.add_argument("--kind", default="library",
+                      help="pipeline under chaos: 'library' (default) "
+                           "samples one scenario per seed from the soak "
+                           "pool, a library scenario name pins that "
+                           "scenario, 'traffic'/'wordcount' keep the "
+                           "legacy ad-hoc pipelines")
     soak.add_argument("--seeds", type=int, nargs="+", default=[1, 2],
                       help="one soak run per seed (default: 1 2)")
     soak.add_argument("--duration", type=float, default=130.0,
@@ -428,6 +456,99 @@ def _faults_command(args) -> int:
     return 0
 
 
+def _scenarios_command(args) -> int:
+    """List the scenario library, or show one spec in full."""
+    from ..errors import ConfigurationError
+    from ..scenarios import SOAK_POOL, scenario, scenario_names
+    from .parallel import cache_key_from_dict
+
+    if args.action == "list":
+        if args.json:
+            from ..scenarios import SCENARIOS
+
+            json.dump(
+                {name: SCENARIOS[name].to_dict() for name in scenario_names()},
+                sys.stdout, indent=2,
+            )
+            print()
+            return 0
+        headers = ["scenario", "app", "arrival", "tenants", "soak pool"]
+        rows = []
+        for name in scenario_names():
+            spec = scenario(name)
+            rows.append([
+                name, spec.app, spec.workload.arrival, spec.tenants,
+                "yes" if name in SOAK_POOL else "-",
+            ])
+        print(render_table(headers, rows))
+        print("\nrun one with: repro run --scenario NAME  "
+              "(details: repro scenarios show NAME)")
+        return 0
+
+    if not args.name:
+        print("error: 'repro scenarios show' needs a scenario name",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = scenario(args.name)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = {
+        "spec": spec.to_dict(),
+        "cache_key": cache_key_from_dict(
+            {"scenario": spec.key_dict()}, version="scenario"
+        ),
+    }
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"== {spec.name} ==")
+    print(spec.description)
+    print(f"\ncache key (spec content hash): {payload['cache_key']}")
+    print(json.dumps(payload["spec"], indent=2))
+    return 0
+
+
+def _run_scenario_command(args) -> int:
+    """Run one library scenario through the unified scenario path."""
+    from ..errors import ConfigurationError
+    from ..faults import load_fault_plan
+    from ..scenarios import scenario
+
+    try:
+        spec = scenario(args.scenario)
+        plan = load_fault_plan(args.faults) if args.faults else None
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    settings = ExperimentSettings(
+        duration_s=args.duration, warmup_s=args.warmup, seed=args.seed,
+        trace=args.trace,
+    )
+    run_spec = RunSpec(
+        kind="scenario", scenario=spec, settings=settings, faults=plan,
+        label=f"scenario:{spec.name}",
+    )
+    with _cache_override(args.no_cache), _shard_override(args.shards):
+        summary = run_grid([run_spec], jobs=args.jobs)[0]
+    if args.json:
+        json.dump(summary.to_dict(), sys.stdout, indent=2, default=str)
+        print()
+        return 0
+    print(f"== scenario {spec.name} ==")
+    print(spec.description)
+    print(render_tails({spec.name: summary.tails}))
+    if summary.coarse_times:
+        print(render_series(summary.coarse_times, summary.coarse_p999,
+                            label="p99.9 latency [s]"))
+    if summary.invariant_violations:
+        print(f"INVARIANT VIOLATIONS: {len(summary.invariant_violations)}")
+        return 1
+    return 0
+
+
 def _soak_command(args) -> int:
     """Run the chaos-soak campaign; print verdicts; exit 1 on failure."""
     from ..errors import ConfigurationError
@@ -461,7 +582,10 @@ def _soak_command(args) -> int:
           f"{len(args.seeds)} seed(s), {args.duration:.0f}s each ==")
     for run in report.runs:
         verdict = "PASS" if run["ok"] else "FAIL"
-        print(f"\nseed {run['seed']} [{verdict}]  "
+        scenario_note = (
+            f" scenario {run['scenario']}" if run.get("scenario") else ""
+        )
+        print(f"\nseed {run['seed']}{scenario_note} [{verdict}]  "
               f"baseline p99.9 {run['baseline_p999_s']:.3f}s  "
               f"trips {run['trips']}  shed {run['shed_messages']:.0f} msg  "
               f"watchdog restarts {run['watchdog_restarts']}  "
@@ -653,6 +777,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"p99.9 reduced to {ratio:.0%} of baseline")
         return 0
 
+    if args.command == "scenarios":
+        return _scenarios_command(args)
+
     if args.command == "trace":
         return _trace_command(args)
 
@@ -668,8 +795,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sanitize":
         return _sanitize_command(args)
 
-    if args.command == "run" and getattr(args, "faults", None):
-        return _faults_command(args)
+    if args.command == "run":
+        if args.scenario is not None and args.experiment is not None:
+            print("error: give either an experiment or --scenario, not both",
+                  file=sys.stderr)
+            return 2
+        if args.scenario is not None:
+            return _run_scenario_command(args)
+        if args.experiment is None:
+            print("error: 'repro run' needs an experiment name or "
+                  "--scenario NAME", file=sys.stderr)
+            return 2
+        if getattr(args, "faults", None):
+            return _faults_command(args)
 
     settings = ExperimentSettings(
         duration_s=args.duration, warmup_s=args.warmup, seed=args.seed,

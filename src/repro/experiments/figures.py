@@ -22,7 +22,7 @@ from ..core.allocation import (
 )
 from ..core.mitigation import MitigationPlan
 from .parallel import RunSpec, run_grid, sweep
-from .runner import DEFAULT_SETTINGS, ExperimentSettings, run_traffic
+from .runner import DEFAULT_SETTINGS, ExperimentSettings, legacy_scenario
 
 __all__ = [
     "fig1_fig3_baseline_timeline",
@@ -51,6 +51,24 @@ def _timeline(result, settings: ExperimentSettings, window: Optional[float] = No
     return times, p999
 
 
+def _run_traffic(
+    settings: ExperimentSettings,
+    checkpoint_interval_s: float = 8.0,
+    initial_l0: str = "aligned",
+):
+    """One live traffic run through the scenario path (warning-free)."""
+    from ..scenarios.run import execute_scenario
+
+    return execute_scenario(
+        legacy_scenario(
+            "traffic",
+            interval_s=checkpoint_interval_s,
+            initial_l0=initial_l0,
+        ),
+        settings=settings,
+    )
+
+
 # ----------------------------------------------------------------------
 # §2 + §3.2 — the scheduled ShadowSync exemplar (16 s checkpoints)
 # ----------------------------------------------------------------------
@@ -65,8 +83,8 @@ def fig1_fig3_baseline_timeline(
     two stages alternate, so spikes arrive every ~32 s — the LCM
     cadence of Figure 1.
     """
-    result = run_traffic(
-        checkpoint_interval_s=16.0, initial_l0="staggered", settings=settings
+    result = _run_traffic(
+        settings, checkpoint_interval_s=16.0, initial_l0="staggered"
     )
     times, p999 = _timeline(result, settings)
     floor = float(np.median(p999))
@@ -90,8 +108,8 @@ def table1_checkpoint_stats(
     hit alternating stages (s1 at the 1st and 5th, s0 in between),
     matching the staggered scheduled pattern.
     """
-    result = run_traffic(
-        checkpoint_interval_s=16.0, initial_l0="staggered", settings=settings
+    result = _run_traffic(
+        settings, checkpoint_interval_s=16.0, initial_l0="staggered"
     )
     stats = result.checkpoint_stats()
     after_warmup = [s for s in stats if s.time >= settings.warmup_s]
@@ -111,8 +129,8 @@ def table1_checkpoint_stats(
 
 def fig6_point_in_time(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
     """Figure 6: CPU, queues and activity concurrency around the spikes."""
-    result = run_traffic(
-        checkpoint_interval_s=16.0, initial_l0="staggered", settings=settings
+    result = _run_traffic(
+        settings, checkpoint_interval_s=16.0, initial_l0="staggered"
     )
     start, end = settings.measure_span
     cpu = result.cpu_series("node0")
@@ -145,8 +163,8 @@ def fig7_zoom_spans(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
     much longer because 64 jobs share 16 compaction threads per node
     while contending with message processing.
     """
-    result = run_traffic(
-        checkpoint_interval_s=16.0, initial_l0="staggered", settings=settings
+    result = _run_traffic(
+        settings, checkpoint_interval_s=16.0, initial_l0="staggered"
     )
     # find a checkpoint with a compaction burst after warmup
     stats = result.checkpoint_stats()
@@ -178,8 +196,8 @@ def fig7_zoom_spans(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
 def fig8_statistical(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
     """Figure 8: aligned counters put both stages' bursts in the same
     checkpoint → even higher spikes (> 2 s) in a 32 s cycle."""
-    result = run_traffic(
-        checkpoint_interval_s=8.0, initial_l0="aligned", settings=settings
+    result = _run_traffic(
+        settings, checkpoint_interval_s=8.0, initial_l0="aligned"
     )
     times, p999 = _timeline(result, settings)
     spikes = find_spikes(times, p999, threshold=1.0)

@@ -45,12 +45,12 @@ from ..core.mitigation import MitigationPlan
 from ..errors import ConfigurationError
 from ..faults.plan import FaultPlan
 from ..resilience.config import ResilienceConfig
+from ..scenarios.spec import ScenarioSpec
 from ..storage.backend import profile_by_name
 from .runner import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    run_traffic,
-    run_wordcount,
+    legacy_scenario,
 )
 from .summary import RunSummary, summarize_run
 
@@ -59,6 +59,7 @@ __all__ = [
     "run_grid",
     "sweep",
     "execute_spec",
+    "spec_scenario",
     "cache_enabled",
     "cache_dir",
     "spec_cache_key",
@@ -77,7 +78,7 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: cached summaries (simulation or analysis code may have changed).
 _PACKAGE_VERSION = __version__
 
-_KINDS = ("traffic", "wordcount")
+_KINDS = ("traffic", "wordcount", "scenario")
 
 
 @keyword_only
@@ -104,11 +105,30 @@ class RunSpec:
     faults: Optional[FaultPlan] = None
     #: Resilience (overload-protection) config (``None`` = disabled).
     resilience: Optional[ResilienceConfig] = None
+    #: Declarative scenario to run (kind ``"scenario"``).  When set,
+    #: ``interval_s``/``initial_l0``/``mitigation``/``storage`` are
+    #: carried by the scenario itself; spec-level ``faults``/
+    #: ``resilience`` override the scenario's own when given.
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.scenario, dict):
+            object.__setattr__(
+                self, "scenario", ScenarioSpec.from_dict(self.scenario)
+            )
+        elif isinstance(self.scenario, str):
+            from ..scenarios.library import scenario as _by_name
+
+            object.__setattr__(self, "scenario", _by_name(self.scenario))
+        if self.scenario is not None:
+            object.__setattr__(self, "kind", "scenario")
         if self.kind not in _KINDS:
             raise ConfigurationError(
                 f"unknown run kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.kind == "scenario" and self.scenario is None:
+            raise ConfigurationError(
+                "kind 'scenario' needs a scenario= ScenarioSpec"
             )
         profile_by_name(self.storage)  # raises on unknown profiles
         if isinstance(self.faults, dict):
@@ -127,8 +147,13 @@ class RunSpec:
         return replace(self, settings=replace(self.settings, seed=seed))
 
     def key_dict(self) -> dict:
-        """Canonical content for hashing (label excluded)."""
-        return {
+        """Canonical content for hashing (label excluded).
+
+        The ``scenario`` entry appears only on scenario runs, so every
+        legacy spec's key payload — and therefore its cache address —
+        is byte-identical to previous releases.
+        """
+        payload = {
             "kind": self.kind,
             "settings": asdict(self.settings),
             "mitigation": None if self.mitigation is None else asdict(self.mitigation),
@@ -140,34 +165,52 @@ class RunSpec:
                 None if self.resilience is None else self.resilience.to_dict()
             ),
         }
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario.key_dict()
+        return payload
 
 
 # ----------------------------------------------------------------------
 # the worker-side step
 # ----------------------------------------------------------------------
 
+def spec_scenario(spec: RunSpec) -> ScenarioSpec:
+    """The scenario a spec runs: its own, or the legacy-kind equivalent."""
+    if spec.scenario is not None:
+        return spec.scenario
+    return legacy_scenario(
+        spec.kind,
+        mitigation=spec.mitigation,
+        interval_s=spec.interval_s,
+        initial_l0=spec.initial_l0,
+        storage=spec.storage,
+    )
+
+
 def execute_spec(spec: RunSpec) -> RunSummary:
-    """Run one spec to completion and reduce it to a summary."""
-    if spec.kind == "traffic":
-        result = run_traffic(
-            mitigation=spec.mitigation,
-            checkpoint_interval_s=spec.interval_s,
-            initial_l0=spec.initial_l0,
-            storage=profile_by_name(spec.storage),
-            settings=spec.settings,
-            faults=spec.faults,
-            resilience=spec.resilience,
-        )
-    else:
-        result = run_wordcount(
-            mitigation=spec.mitigation,
-            commit_interval_s=spec.interval_s,
-            storage=profile_by_name(spec.storage),
-            settings=spec.settings,
-            faults=spec.faults,
-            resilience=spec.resilience,
-        )
-    return summarize_run(result, spec.settings, kind=spec.kind, label=spec.label)
+    """Run one spec to completion and reduce it to a summary.
+
+    Every kind — legacy ``traffic``/``wordcount`` and declarative
+    ``scenario`` — funnels through
+    :func:`repro.scenarios.run.execute_scenario`; spec-level
+    ``faults``/``resilience`` override whatever the scenario declares.
+    """
+    from ..scenarios.run import execute_scenario
+
+    scenario = spec_scenario(spec)
+    result = execute_scenario(
+        scenario,
+        settings=spec.settings,
+        faults=spec.faults,
+        resilience=spec.resilience,
+    )
+    return summarize_run(
+        result,
+        spec.settings,
+        kind=spec.kind,
+        label=spec.label or (scenario.name if spec.kind == "scenario" else ""),
+        scenario=scenario.name if spec.kind == "scenario" else "",
+    )
 
 
 def _worker(payload):

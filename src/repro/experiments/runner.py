@@ -3,6 +3,13 @@
 Every figure/table benchmark goes through these helpers so that the
 durations, warmup and seeds are uniform and the EXPERIMENTS.md numbers
 are regenerable with one call each.
+
+:func:`run_traffic` and :func:`run_wordcount` are **deprecated** thin
+wrappers now: each builds the equivalent
+:class:`~repro.scenarios.spec.ScenarioSpec` and delegates to
+:func:`repro.scenarios.run.run_scenario`, the one canonical entry
+point.  They emit :class:`DeprecationWarning` and will be removed a
+release after every caller migrates.
 """
 
 from __future__ import annotations
@@ -10,9 +17,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 from typing import Dict, List, Optional, Union
 
-from ..apps.traffic_job import build_traffic_job
-from ..apps.wordcount_job import build_wordcount_job
-from ..compat import keyword_only
+from ..compat import deprecated, keyword_only
 from ..core.mitigation import MitigationPlan
 from ..serialize import register
 from ..storage.backend import StorageProfile, TMPFS
@@ -72,6 +77,39 @@ class ExperimentSettings:
 DEFAULT_SETTINGS = ExperimentSettings()
 
 
+def legacy_scenario(
+    kind: str,
+    mitigation: Optional[MitigationPlan] = None,
+    interval_s: float = 8.0,
+    initial_l0: Union[str, Dict[str, int]] = "aligned",
+    storage: str = "tmpfs",
+    faults=None,
+    resilience=None,
+):
+    """The :class:`ScenarioSpec` equivalent of one legacy keyword call.
+
+    Shared by the deprecated wrappers below and the parallel executor's
+    legacy ``traffic``/``wordcount`` run kinds (which stay warning-free:
+    their cache keys and behavior are unchanged, only the execution path
+    is unified).
+    """
+    from ..scenarios.spec import ScenarioSpec, WorkloadSpec
+
+    rate = 60000.0 if kind == "traffic" else 25000.0
+    return ScenarioSpec(
+        name=f"adhoc_{kind}",
+        app=kind,
+        workload=WorkloadSpec(arrival="constant", rate=rate),
+        interval_s=interval_s,
+        initial_l0=initial_l0,
+        storage=storage,
+        mitigation=mitigation,
+        faults=faults,
+        resilience=resilience,
+    )
+
+
+@deprecated("build a ScenarioSpec and call repro.api.run_scenario")
 def run_traffic(
     mitigation: Optional[MitigationPlan] = None,
     checkpoint_interval_s: float = 8.0,
@@ -87,31 +125,35 @@ def run_traffic(
 ) -> StreamJobResult:
     """Run the traffic-jam benchmark with standard settings.
 
+    .. deprecated::
+        Build a :class:`ScenarioSpec` (or pick a library scenario) and
+        call :func:`repro.api.run_scenario` instead.
+
     ``scale``/``barrier_s`` are the sharded-execution knobs (see
     :mod:`repro.experiments.shard`): a 1/scale slice of the deployment,
     advanced in lock-step epochs of ``barrier_s`` simulated seconds.
     """
-    job = build_traffic_job(
-        checkpoint_interval_s=checkpoint_interval_s,
-        mitigation=mitigation,
-        storage=storage,
-        initial_l0=initial_l0,
-        seed=settings.seed,
-        tracer=tracer if tracer is not None else settings.make_tracer(),
+    from ..scenarios.run import execute_scenario
+
+    return execute_scenario(
+        legacy_scenario(
+            "traffic",
+            mitigation=mitigation,
+            interval_s=checkpoint_interval_s,
+            initial_l0=initial_l0,
+            storage=storage.name,
+            faults=faults,
+            resilience=resilience,
+        ),
+        settings=settings,
+        tracer=tracer,
         tie_break=tie_break,
         scale=scale,
+        barrier_s=barrier_s,
     )
-    if faults is not None:
-        from ..faults import inject_faults
-
-        inject_faults(job, faults)
-    if resilience is not None:
-        from ..resilience import install_resilience
-
-        install_resilience(job, resilience)
-    return job.run(settings.duration_s, barrier_s=barrier_s)
 
 
+@deprecated("build a ScenarioSpec and call repro.api.run_scenario")
 def run_wordcount(
     mitigation: Optional[MitigationPlan] = None,
     commit_interval_s: float = 8.0,
@@ -126,23 +168,26 @@ def run_wordcount(
 ) -> StreamJobResult:
     """Run the WordCount benchmark with standard settings.
 
+    .. deprecated::
+        Build a :class:`ScenarioSpec` (or pick a library scenario) and
+        call :func:`repro.api.run_scenario` instead.
+
     ``scale``/``barrier_s`` as in :func:`run_traffic`.
     """
-    job = build_wordcount_job(
-        commit_interval_s=commit_interval_s,
-        mitigation=mitigation,
-        storage=storage,
-        seed=settings.seed,
-        tracer=tracer if tracer is not None else settings.make_tracer(),
+    from ..scenarios.run import execute_scenario
+
+    return execute_scenario(
+        legacy_scenario(
+            "wordcount",
+            mitigation=mitigation,
+            interval_s=commit_interval_s,
+            storage=storage.name,
+            faults=faults,
+            resilience=resilience,
+        ),
+        settings=settings,
+        tracer=tracer,
         tie_break=tie_break,
         scale=scale,
+        barrier_s=barrier_s,
     )
-    if faults is not None:
-        from ..faults import inject_faults
-
-        inject_faults(job, faults)
-    if resilience is not None:
-        from ..resilience import install_resilience
-
-        install_resilience(job, resilience)
-    return job.run(settings.duration_s, barrier_s=barrier_s)

@@ -114,20 +114,25 @@ def plan_shards(spec, shards: int, barrier_s: Optional[float] = None) -> ShardPl
     plan = ShardPlan(shards=shards, barrier_s=barrier_s)
     if shards == 1:
         return plan
-    if spec.kind == "traffic":
-        whole, what = _TRAFFIC_NODES, "node groups"
+    if spec.kind == "scenario":
+        from ..scenarios.run import scenario_shard_unit
+
+        whole, what, stages = scenario_shard_unit(spec.scenario)
     else:
-        whole, what = _WORDCOUNT_CORES, "cores"
+        if spec.kind == "traffic":
+            whole, what = _TRAFFIC_NODES, "node groups"
+        else:
+            whole, what = _WORDCOUNT_CORES, "cores"
+        from ..apps.traffic_job import TRAFFIC_STAGES
+        from ..apps.wordcount_job import WORDCOUNT_STAGES
+
+        stages = TRAFFIC_STAGES if spec.kind == "traffic" else WORDCOUNT_STAGES
     if whole % shards != 0:
         raise ConfigurationError(
             f"{spec.kind} job: {whole} {what} cannot be split into "
             f"{shards} shards"
         )
     # Fail fast on stage divisibility (scaled() re-checks at build time).
-    from ..apps.traffic_job import TRAFFIC_STAGES
-    from ..apps.wordcount_job import WORDCOUNT_STAGES
-
-    stages = TRAFFIC_STAGES if spec.kind == "traffic" else WORDCOUNT_STAGES
     for stage in stages:
         stage.scaled(shards)
     return plan
@@ -151,36 +156,28 @@ class ShardedResult:
 
 def _execute_one_shard(spec, shards: int, index: int, barrier_s: float) -> RunSummary:
     """Run shard *index* of *spec* to completion (worker-side step)."""
-    from ..storage.backend import profile_by_name
-    from .runner import run_traffic, run_wordcount
+    from ..scenarios.run import execute_scenario
+    from .parallel import spec_scenario
     from .summary import summarize_run
 
     settings = replace(spec.settings, seed=shard_seed(spec.settings.seed, index))
     label = f"{spec.label or spec.kind}[shard {index}/{shards}]"
-    if spec.kind == "traffic":
-        result = run_traffic(
-            mitigation=spec.mitigation,
-            checkpoint_interval_s=spec.interval_s,
-            initial_l0=spec.initial_l0,
-            storage=profile_by_name(spec.storage),
-            settings=settings,
-            faults=spec.faults,
-            resilience=spec.resilience,
-            scale=shards,
-            barrier_s=barrier_s,
-        )
-    else:
-        result = run_wordcount(
-            mitigation=spec.mitigation,
-            commit_interval_s=spec.interval_s,
-            storage=profile_by_name(spec.storage),
-            settings=settings,
-            faults=spec.faults,
-            resilience=spec.resilience,
-            scale=shards,
-            barrier_s=barrier_s,
-        )
-    return summarize_run(result, settings, kind=spec.kind, label=label)
+    scenario = spec_scenario(spec)
+    result = execute_scenario(
+        scenario,
+        settings=settings,
+        faults=spec.faults,
+        resilience=spec.resilience,
+        scale=shards,
+        barrier_s=barrier_s,
+    )
+    return summarize_run(
+        result,
+        settings,
+        kind=spec.kind,
+        label=label,
+        scenario=scenario.name if spec.kind == "scenario" else "",
+    )
 
 
 def _shard_worker(payload):
@@ -217,7 +214,10 @@ def execute_spec_sharded(
     one, ``.parts`` keeps the per-shard summaries for inspection.
     """
     plan = plan_shards(spec, shards, barrier_s=barrier_s)
-    barrier = plan.resolve_barrier(spec.interval_s)
+    interval = (
+        spec.scenario.interval_s if spec.kind == "scenario" else spec.interval_s
+    )
+    barrier = plan.resolve_barrier(interval)
     duration = spec.settings.duration_s
     barriers = max(1, int(-(-duration // barrier)))  # ceil
     if shards == 1:
@@ -332,6 +332,7 @@ def merge_summaries(
     return RunSummary(
         kind=first.kind,
         label=(label or first.kind) + suffix,
+        scenario=first.scenario,
         seed=first.seed,
         duration_s=first.duration_s,
         warmup_s=first.warmup_s,

@@ -37,6 +37,8 @@ class RunSummary:
 
     kind: str = "traffic"
     label: str = ""
+    #: Library/spec scenario name for scenario runs ("" = legacy kind).
+    scenario: str = ""
     seed: int = 0
     duration_s: float = 0.0
     warmup_s: float = 0.0
@@ -123,7 +125,7 @@ class RunSummary:
 
 
 def summarize_run(result, settings, kind: str = "traffic",
-                  label: str = "") -> RunSummary:
+                  label: str = "", scenario: str = "") -> RunSummary:
     """Reduce a live :class:`StreamJobResult` to a :class:`RunSummary`.
 
     This is the worker-side step of the parallel executor: it runs in
@@ -162,6 +164,7 @@ def summarize_run(result, settings, kind: str = "traffic",
     return RunSummary(
         kind=kind,
         label=label,
+        scenario=scenario,
         seed=settings.seed,
         duration_s=settings.duration_s,
         warmup_s=settings.warmup_s,

@@ -4,7 +4,12 @@
 ``combined`` preset by default, or ``FaultPlan.random`` schedules —
 with the resilience layer enabled, through the ordinary
 :func:`~repro.experiments.parallel.run_grid` executor (so soak results
-cache and parallelize like any sweep).  Each run's summary is then
+cache and parallelize like any sweep).  The pipeline under test comes
+from the scenario library: ``kind="library"`` (the default campaign in
+CI) draws a scenario per seed with the seeded sampler from
+:data:`repro.scenarios.SOAK_POOL`, any library scenario name pins that
+scenario for every seed, and the legacy ``"traffic"``/``"wordcount"``
+kinds keep their original ad-hoc pipelines.  Each run's summary is then
 audited:
 
 * **SLO recovery** — after every fault window the windowed p99.9 must
@@ -43,6 +48,9 @@ class SoakReport:
     recovery_budget_s: float = 25.0
     recovery_ratio: float = 1.5
     queue_limit_messages: float = 300_000.0
+    #: Scenario names actually exercised, one per seed in ``runs`` order
+    #: (empty strings for the legacy ad-hoc kinds).
+    scenarios: List[str] = field(default_factory=list)
     #: Per-seed verdict dicts (seed, ok, failures, windows, tails, ...).
     runs: List[dict] = field(default_factory=list)
 
@@ -173,6 +181,7 @@ def _audit_summary(
     return {
         "seed": summary.seed,
         "label": summary.label,
+        "scenario": summary.scenario,
         "ok": not failures,
         "failures": failures,
         "baseline_p999_s": baseline,
@@ -205,6 +214,14 @@ def run_soak(
 ) -> SoakReport:
     """Run the chaos-soak campaign and audit every run.
 
+    *kind* selects the pipeline under chaos: ``"library"`` draws one
+    scenario per seed from :data:`repro.scenarios.SOAK_POOL` with the
+    seeded sampler (deterministic per seed, diverse across seeds), a
+    library scenario name (``"windowed_join"``, ``"multi_tenant"``, ...)
+    soaks that scenario for every seed, and the legacy ``"traffic"`` /
+    ``"wordcount"`` kinds keep the original ad-hoc pipelines.  The
+    scenario exercised by each run is recorded in the report.
+
     With ``random_faults=True`` each seed gets its own
     :meth:`FaultPlan.random` schedule (seeded by that seed), otherwise
     every seed runs the same *faults* plan (the ``combined`` preset by
@@ -220,10 +237,12 @@ def run_soak(
     from ..experiments.parallel import RunSpec, run_grid
     from ..experiments.runner import ExperimentSettings
     from ..resilience import load_resilience_config
+    from ..scenarios import SCENARIOS, sample_scenario, scenario
 
     config = load_resilience_config(resilience)
     specs = []
     plans = {}
+    names: List[str] = []
     for seed in seeds:
         if random_faults:
             plan = FaultPlan.random(
@@ -232,18 +251,41 @@ def run_soak(
         else:
             plan = load_fault_plan(faults)
         plans[seed] = plan
-        specs.append(
-            RunSpec(
-                kind=kind,
-                settings=ExperimentSettings(
-                    duration_s=duration_s, warmup_s=warmup_s, seed=seed
-                ),
-                interval_s=interval_s,
-                faults=plan,
-                resilience=config,
-                label=f"soak-{kind}-seed{seed}",
+        if kind == "library":
+            spec = sample_scenario(seed)
+        elif kind in SCENARIOS:
+            spec = scenario(kind)
+        else:
+            spec = None
+        if spec is not None:
+            names.append(spec.name)
+            specs.append(
+                RunSpec(
+                    kind="scenario",
+                    scenario=spec,
+                    settings=ExperimentSettings(
+                        duration_s=duration_s, warmup_s=warmup_s, seed=seed
+                    ),
+                    interval_s=spec.interval_s,
+                    faults=plan,
+                    resilience=config,
+                    label=f"soak-{spec.name}-seed{seed}",
+                )
             )
-        )
+        else:
+            names.append("")
+            specs.append(
+                RunSpec(
+                    kind=kind,
+                    settings=ExperimentSettings(
+                        duration_s=duration_s, warmup_s=warmup_s, seed=seed
+                    ),
+                    interval_s=interval_s,
+                    faults=plan,
+                    resilience=config,
+                    label=f"soak-{kind}-seed{seed}",
+                )
+            )
     summaries = run_grid(specs, jobs=jobs, cache=cache)
     report = SoakReport(
         kind=kind,
@@ -252,6 +294,7 @@ def run_soak(
         recovery_budget_s=recovery_budget_s,
         recovery_ratio=recovery_ratio,
         queue_limit_messages=queue_limit_messages,
+        scenarios=names,
         runs=[
             _audit_summary(
                 summary, recovery_budget_s, recovery_ratio, queue_limit_messages

@@ -1,0 +1,181 @@
+"""Building and running scenarios — the unified entry point.
+
+:func:`run_scenario` is the canonical way to execute anything in this
+repo: it accepts a :class:`ScenarioSpec` (or a library name, or a
+serialized dict), assembles the job through the same app builders the
+legacy helpers used, injects the scenario's fault plan and resilience
+config, and runs it.  ``repro.api.run_scenario`` re-exports it;
+``run_traffic``/``run_wordcount`` are deprecated wrappers over it; the
+parallel executor's scenario kind and the sharded path both funnel
+through :func:`execute_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import ConfigurationError
+from ..storage.backend import profile_by_name
+from ..stream.engine import StreamJob, StreamJobResult
+from ..trace import Tracer
+from .library import scenario
+from .spec import ScenarioSpec
+
+__all__ = [
+    "resolve_scenario",
+    "build_scenario_job",
+    "execute_scenario",
+    "run_scenario",
+    "scenario_shard_unit",
+]
+
+
+def resolve_scenario(spec: Union[ScenarioSpec, str, dict]) -> ScenarioSpec:
+    """Coerce a name / serialized dict / spec into a :class:`ScenarioSpec`."""
+    if isinstance(spec, ScenarioSpec):
+        return spec
+    if isinstance(spec, str):
+        return scenario(spec)
+    if isinstance(spec, dict):
+        return ScenarioSpec.from_dict(spec)
+    raise ConfigurationError(
+        f"expected a ScenarioSpec, library name, or dict; got {type(spec).__name__}"
+    )
+
+
+def build_scenario_job(
+    spec: Union[ScenarioSpec, str, dict],
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    tie_break: str = "fifo",
+    scale: int = 1,
+) -> StreamJob:
+    """Assemble the :class:`StreamJob` a scenario describes.
+
+    Goes through the same app builders as the legacy entry points
+    (:func:`~repro.apps.build_traffic_job` and friends), so a scenario
+    with default workload knobs builds a bit-identical job to the old
+    keyword-soup call.
+    """
+    spec = resolve_scenario(spec)
+    workload = spec.workload
+    common = dict(
+        mitigation=spec.mitigation,
+        storage=profile_by_name(spec.storage),
+        seed=seed,
+        tracer=tracer,
+        tie_break=tie_break,
+        scale=scale,
+        source=workload.make_source(scale),
+        skew=workload.skew,
+        tenants=spec.tenants,
+    )
+    if spec.app == "traffic":
+        from ..apps.traffic_job import build_traffic_job
+
+        return build_traffic_job(
+            checkpoint_interval_s=spec.interval_s,
+            initial_l0=spec.initial_l0,
+            **common,
+        )
+    if spec.app == "wordcount":
+        from ..apps.wordcount_job import build_wordcount_job
+
+        return build_wordcount_job(commit_interval_s=spec.interval_s, **common)
+    from ..apps.join_job import build_join_job
+
+    return build_join_job(
+        checkpoint_interval_s=spec.interval_s,
+        message_rate=workload.steady_rate(),
+        window_s=spec.window_s,
+        **common,
+    )
+
+
+def execute_scenario(
+    spec: Union[ScenarioSpec, str, dict],
+    settings=None,
+    tracer: Optional[Tracer] = None,
+    tie_break: str = "fifo",
+    scale: int = 1,
+    barrier_s: Optional[float] = None,
+    faults=None,
+    resilience=None,
+) -> StreamJobResult:
+    """Run one scenario to completion under *settings*.
+
+    ``faults``/``resilience`` override the scenario's own plan/config
+    when given (the soak harness injects its per-seed schedules this
+    way); ``None`` keeps what the scenario declares.
+    """
+    from ..experiments.runner import DEFAULT_SETTINGS
+
+    spec = resolve_scenario(spec)
+    settings = DEFAULT_SETTINGS if settings is None else settings
+    faults = spec.faults if faults is None else faults
+    resilience = spec.resilience if resilience is None else resilience
+    job = build_scenario_job(
+        spec,
+        seed=settings.seed,
+        tracer=tracer if tracer is not None else settings.make_tracer(),
+        tie_break=tie_break,
+        scale=scale,
+    )
+    if faults is not None:
+        from ..faults import inject_faults
+
+        inject_faults(job, faults)
+    if resilience is not None:
+        from ..resilience import install_resilience
+
+        install_resilience(job, resilience)
+    return job.run(settings.duration_s, barrier_s=barrier_s)
+
+
+def run_scenario(
+    spec: Union[ScenarioSpec, str, dict],
+    settings=None,
+    tracer: Optional[Tracer] = None,
+    tie_break: str = "fifo",
+    scale: int = 1,
+    barrier_s: Optional[float] = None,
+) -> StreamJobResult:
+    """The single public entry point: run a scenario, return its result.
+
+    *spec* may be a :class:`ScenarioSpec`, a library name
+    (``"diurnal_flash"``), or a serialized dict.  Measurement
+    conventions come from *settings*
+    (:class:`~repro.experiments.runner.ExperimentSettings`; the shared
+    defaults when omitted).  ``scale``/``barrier_s`` are the sharded
+    execution knobs, as everywhere else.
+    """
+    return execute_scenario(
+        spec,
+        settings=settings,
+        tracer=tracer,
+        tie_break=tie_break,
+        scale=scale,
+        barrier_s=barrier_s,
+    )
+
+
+def scenario_shard_unit(spec: Union[ScenarioSpec, str, dict]):
+    """What a shard count must divide for this scenario's deployment.
+
+    Returns ``(whole, what, stages)`` — the node/core count, its name
+    for error messages, and the (tenantized) stage tuple whose
+    parallelism :func:`~repro.experiments.shard.plan_shards` checks.
+    """
+    from ..apps.join_job import JOIN_STAGES
+    from ..apps.tenancy import tenantize
+    from ..apps.traffic_job import TRAFFIC_STAGES
+    from ..apps.wordcount_job import WORDCOUNT_STAGES
+
+    spec = resolve_scenario(spec)
+    if spec.app == "wordcount":
+        whole, what, stages = 16, "cores", WORDCOUNT_STAGES
+    elif spec.app == "join":
+        whole, what, stages = 4, "node groups", JOIN_STAGES
+    else:
+        whole, what, stages = 4, "node groups", TRAFFIC_STAGES
+    return whole, what, tenantize(stages, spec.tenants)

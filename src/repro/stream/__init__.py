@@ -4,7 +4,7 @@ from .checkpoint import CheckpointCoordinator, CheckpointRecord
 from .engine import StreamJob, StreamJobResult
 from .kafka import KafkaBroker, Partition, Topic
 from .messages import Record, RecordBatch
-from .sources import ConstantSource, PiecewiseSource
+from .sources import ClosedLoopSource, ConstantSource, DiurnalSource, PiecewiseSource
 from .stage import Stage, StageInstance, StageSpec
 from .state_backend import LSMStateBackend
 from .worker import WorkerNode

@@ -42,13 +42,16 @@ from ..storage.hdfs import HdfsBackup
 from ..trace import Tracer
 from .checkpoint import CheckpointCoordinator
 from .sources import ConstantSource
-from .stage import Stage, StageInstance, StageSpec
+from .stage import SOURCE_INPUT, Stage, StageInstance, StageSpec
 from .state_backend import LSMStateBackend
 from .worker import WorkerNode
 
 __all__ = ["StreamJob", "StreamJobResult"]
 
 InitialL0 = Union[int, Callable[[StageInstance], int]]
+
+#: Index standing for the external source in the stage input graph.
+_SOURCE = -1
 
 
 class StreamJob:
@@ -72,6 +75,7 @@ class StreamJob:
         faults=None,
         resilience=None,
         tie_break: str = "fifo",
+        skew: Sequence = (),
     ) -> None:
         if not stages:
             raise ConfigurationError("a job needs at least one stage")
@@ -191,6 +195,47 @@ class StreamJob:
             hdfs=self.hdfs,
         )
 
+        # --- input graph ---------------------------------------------------
+        # Per stage, the indices of its upstream feeds (the external
+        # source is index ``_SOURCE``).  ``inputs=None`` keeps the
+        # classic linear chain; explicit inputs support branched and
+        # two-input (windowed-join) topologies and multi-tenant jobs.
+        name_to_index = {spec.name: i for i, spec in enumerate(stages)}
+        self._inputs: List[List[int]] = []
+        for index, spec in enumerate(stages):
+            if spec.inputs is None:
+                self._inputs.append([_SOURCE] if index == 0 else [index - 1])
+                continue
+            resolved: List[int] = []
+            for ref in spec.inputs:
+                if ref == SOURCE_INPUT:
+                    resolved.append(_SOURCE)
+                    continue
+                upstream = name_to_index.get(ref)
+                if upstream is None:
+                    raise ConfigurationError(
+                        f"stage {spec.name!r}: unknown input {ref!r}"
+                    )
+                if upstream >= index:
+                    raise ConfigurationError(
+                        f"stage {spec.name!r}: input {ref!r} must be declared "
+                        "earlier in the stage list (the dataflow is acyclic)"
+                    )
+                resolved.append(upstream)
+            self._inputs.append(resolved)
+        #: Upstream stage index -> downstream stage indices it feeds.
+        self._consumers: List[List[int]] = [[] for _ in stages]
+        for index, feeds in enumerate(self._inputs):
+            for upstream in feeds:
+                if upstream != _SOURCE:
+                    self._consumers[upstream].append(index)
+        #: Stage indices ingesting directly from the external source.
+        self._source_fed: List[int] = [
+            index for index, feeds in enumerate(self._inputs) if _SOURCE in feeds
+        ]
+        if not self._source_fed:
+            raise ConfigurationError("no stage ingests from the source")
+
         # --- rate wiring --------------------------------------------------
         # Downstream arrival-rate updates are coalesced and applied after
         # a short propagation delay (network hop + output batching).
@@ -199,11 +244,36 @@ class StreamJob:
         # which could otherwise livelock at a single timestamp.
         self.rate_propagation_delay_s = 0.05
         self._downstream_update_pending = [False] * len(self.stages)
-        for upstream_index, stage in enumerate(self.stages[:-1]):
+        for upstream_index, consumers in enumerate(self._consumers):
+            if not consumers:
+                continue
+            stage = self.stages[upstream_index]
             for flow in stage.flows.values():
                 flow.output_listeners.append(
                     lambda _rate, k=upstream_index: self._queue_downstream_update(k)
                 )
+
+        # --- ingest skew ---------------------------------------------------
+        #: Schedule of ``(at_s, hot_fraction, hot_node)`` entries: from
+        #: ``at_s`` on, the hot node of every source-fed stage receives
+        #: ``hot_fraction`` of that stage's ingest while the remaining
+        #: nodes share the rest evenly — the fluid-level model of
+        #: hot-key skew (and, by re-pointing ``hot_node`` mid-run, of a
+        #: hot spot that shifts).
+        self._skew_schedule = tuple(
+            (float(at), float(frac), int(node)) for at, frac, node in skew
+        )
+        for at, frac, _node in self._skew_schedule:
+            if at < 0:
+                raise ConfigurationError(f"skew entry at_s must be >= 0, got {at}")
+            if not 0.0 < frac <= 1.0:
+                raise ConfigurationError(
+                    f"skew hot_fraction must be in (0, 1], got {frac}"
+                )
+        #: Active ``(hot_fraction, hot_node)`` skew, or ``None`` = even.
+        self._skew_state: Optional[tuple] = None
+        #: Last admitted (post-shedding) source rate.
+        self._admitted_rate = 0.0
 
         if initial_l0:
             self._preload_l0(initial_l0)
@@ -250,10 +320,24 @@ class StreamJob:
         raise ConfigurationError(f"unknown stage {name!r}")
 
     def expected_stage_rate(self, index: int) -> float:
-        """Steady input rate of stage *index* given the source rate."""
-        rate = self.source.steady_rate()
-        for stage in self.stages[:index]:
-            rate *= stage.spec.selectivity
+        """Steady input rate of stage *index* given the source rate.
+
+        Follows the input graph: a chained stage sees its upstream's
+        output (input × selectivity), a source-fed stage its share of
+        the source rate, and a two-input stage the sum of its feeds.
+        """
+        rate = 0.0
+        for upstream in self._inputs[index]:
+            if upstream == _SOURCE:
+                rate += (
+                    self.source.steady_rate()
+                    * self.stages[index].spec.source_fraction
+                )
+            else:
+                rate += (
+                    self.expected_stage_rate(upstream)
+                    * self.stages[upstream].spec.selectivity
+                )
         return rate
 
     def expected_flush_bytes(self, spec: StageSpec, stage_index: int) -> float:
@@ -303,11 +387,44 @@ class StreamJob:
         self._apply_source_rate(rate)
 
     def _apply_source_rate(self, rate: float) -> None:
-        """Push an (already admitted) source rate into the stage-0 flows."""
-        stage0 = self.stages[0]
-        hosting = stage0.nodes()
-        for node_name in hosting:
-            stage0.flows[node_name].set_arrival_rate(rate / len(hosting))
+        """Push an (already admitted) source rate into every source-fed
+        stage's flows."""
+        self._admitted_rate = rate
+        for index in self._source_fed:
+            self._refresh_arrival(index)
+
+    def _node_shares(self, stage: Stage, skewed: bool) -> Dict[str, float]:
+        """Per-node split of *stage*'s arrival rate (sums to 1.0)."""
+        hosting = stage.nodes()
+        if skewed and self._skew_state is not None and len(hosting) > 1:
+            frac, hot = self._skew_state
+            hot_name = hosting[hot % len(hosting)]
+            rest = (1.0 - frac) / (len(hosting) - 1)
+            return {
+                name: (frac if name == hot_name else rest) for name in hosting
+            }
+        return {name: 1.0 / len(hosting) for name in hosting}
+
+    def _refresh_arrival(self, index: int) -> None:
+        """Recompute stage *index*'s total input rate from its feeds and
+        split it over hosting nodes (skew-weighted at the source)."""
+        stage = self.stages[index]
+        total = 0.0
+        source_fed = False
+        for upstream in self._inputs[index]:
+            if upstream == _SOURCE:
+                total += self._admitted_rate * stage.spec.source_fraction
+                source_fed = True
+            else:
+                total += self.stages[upstream].total_output_rate()
+        for node_name, share in self._node_shares(stage, source_fed).items():
+            stage.flows[node_name].set_arrival_rate(total * share)
+
+    def _set_skew(self, hot_fraction: float, hot_node: int) -> None:
+        """Activate one skew-schedule entry and re-split the ingest."""
+        self._skew_state = (hot_fraction, hot_node)
+        for index in self._source_fed:
+            self._refresh_arrival(index)
 
     def _queue_downstream_update(self, upstream_index: int) -> None:
         if self._downstream_update_pending[upstream_index]:
@@ -319,12 +436,8 @@ class StreamJob:
 
     def _update_downstream(self, upstream_index: int) -> None:
         self._downstream_update_pending[upstream_index] = False
-        upstream = self.stages[upstream_index]
-        downstream = self.stages[upstream_index + 1]
-        total = upstream.total_output_rate()
-        hosting = downstream.nodes()
-        for node_name in hosting:
-            downstream.flows[node_name].set_arrival_rate(total / len(hosting))
+        for downstream in self._consumers[upstream_index]:
+            self._refresh_arrival(downstream)
 
     def _account_loop(self, instance: StageInstance, stage: Stage):
         store = instance.store
@@ -435,7 +548,13 @@ class StreamJob:
         if self._started:
             raise SimulationError("a StreamJob can only be run once")
         self._started = True
+        bind = getattr(self.source, "bind", None)
+        if callable(bind):
+            # Closed-loop clients need the job to observe backlog.
+            bind(self)
         self.source.start(self.sim, self.set_source_rate)
+        for at_s, hot_fraction, hot_node in self._skew_schedule:
+            self.sim.schedule(at_s, self._set_skew, hot_fraction, hot_node)
         self.coordinator.start()
         if self.coalesce_accounting:
             entries = self._account_entries()

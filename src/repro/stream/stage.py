@@ -13,14 +13,18 @@ fraction.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..lsm.options import LSMOptions
 from ..lsm.store import LSMStore
 from ..sim.fluid import FluidFlow
 
-__all__ = ["StageSpec", "StageInstance", "Stage"]
+__all__ = ["SOURCE_INPUT", "StageSpec", "StageInstance", "Stage"]
+
+#: Sentinel name in :attr:`StageSpec.inputs` standing for the job's
+#: external source (Kafka) rather than another stage.
+SOURCE_INPUT = "source"
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,18 @@ class StageSpec:
     work_multiplier: float = 1.0
     #: Stateless stages skip checkpoint flushes entirely.
     stateful: bool = True
+    #: Upstream wiring.  ``None`` keeps the classic linear chain (the
+    #: previous stage in the list; the external source for the first
+    #: stage).  An explicit tuple names the upstream stages whose output
+    #: feeds this one — :data:`SOURCE_INPUT` (``"source"``) stands for
+    #: the job's external source.  A stage naming two upstream stages is
+    #: a *two-input* operator (windowed join): its arrival rate is the
+    #: sum of both branches' output rates.
+    inputs: Optional[Tuple[str, ...]] = None
+    #: Fraction of the external source rate this stage ingests when it
+    #: is source-fed (two branch stages splitting one topic use e.g.
+    #: 0.7 / 0.3; tenants sharing a cluster use 1/tenants each).
+    source_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -56,6 +72,24 @@ class StageSpec:
             raise ConfigurationError(f"stage {self.name!r}: distinct_keys >= 0")
         if self.work_multiplier <= 0:
             raise ConfigurationError(f"stage {self.name!r}: work multiplier > 0")
+        if self.inputs is not None:
+            object.__setattr__(self, "inputs", tuple(self.inputs))
+            if not self.inputs:
+                raise ConfigurationError(
+                    f"stage {self.name!r}: explicit inputs must not be empty"
+                )
+            if len(set(self.inputs)) != len(self.inputs):
+                raise ConfigurationError(
+                    f"stage {self.name!r}: duplicate input names"
+                )
+            if self.name in self.inputs:
+                raise ConfigurationError(
+                    f"stage {self.name!r}: a stage cannot feed itself"
+                )
+        if not 0.0 < self.source_fraction <= 1.0:
+            raise ConfigurationError(
+                f"stage {self.name!r}: source_fraction must be in (0, 1]"
+            )
 
     @property
     def distinct_keys_per_instance(self) -> float:

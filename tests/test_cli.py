@@ -131,3 +131,93 @@ def test_run_with_trace_flag(capsys):
                  "--trace"])
     assert code == 0
     assert "== fig8 ==" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# the scenario subcommands
+# ----------------------------------------------------------------------
+
+
+def test_scenarios_list_renders_the_catalog(capsys):
+    from repro.scenarios import scenario_names
+
+    assert main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+    assert "soak pool" in out
+
+
+def test_scenarios_list_json(capsys):
+    from repro.scenarios import scenario_names
+
+    assert main(["scenarios", "list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert sorted(payload) == scenario_names()
+    assert payload["windowed_join"]["app"] == "join"
+
+
+def test_scenarios_show_prints_spec_and_cache_key(capsys):
+    assert main(["scenarios", "show", "windowed_join"]) == 0
+    out = capsys.readouterr().out
+    assert "windowed_join" in out and "cache key" in out
+    assert '"app": "join"' in out
+
+
+def test_scenarios_show_json_roundtrips(capsys):
+    from repro.scenarios import ScenarioSpec, scenario
+
+    assert main(["scenarios", "show", "multi_tenant", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert ScenarioSpec.from_dict(payload["spec"]) == scenario("multi_tenant")
+    assert len(payload["cache_key"]) == 64
+
+
+def test_scenarios_show_requires_a_name(capsys):
+    assert main(["scenarios", "show"]) == 2
+    assert "needs a scenario name" in capsys.readouterr().err
+
+
+def test_scenarios_show_unknown_name(capsys):
+    assert main(["scenarios", "show", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_run_scenario_command(capsys):
+    code = main(["run", "--scenario", "baseline_traffic",
+                 "--duration", "30", "--warmup", "10"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "== scenario baseline_traffic ==" in out
+    assert "p99.9" in out
+
+
+def test_run_scenario_json_records_the_name(capsys):
+    code = main(["run", "--scenario", "baseline_traffic",
+                 "--duration", "30", "--warmup", "10", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "scenario"
+    assert payload["scenario"] == "baseline_traffic"
+
+
+def test_run_scenario_with_faults(capsys):
+    code = main(["run", "--scenario", "baseline_traffic",
+                 "--duration", "40", "--warmup", "10",
+                 "--faults", "crash"])
+    assert code == 0
+
+
+def test_run_rejects_experiment_plus_scenario(capsys):
+    assert main(["run", "fig8", "--scenario", "baseline_traffic"]) == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_run_requires_experiment_or_scenario(capsys):
+    assert main(["run"]) == 2
+    assert "--scenario" in capsys.readouterr().err
+
+
+def test_run_unknown_scenario(capsys):
+    assert main(["run", "--scenario", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

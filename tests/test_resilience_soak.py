@@ -143,3 +143,46 @@ def test_spike_attribution_from_dict_backfills_resilience():
     # records written before the field existed load with an empty list
     data.pop("resilience")
     assert SpikeAttribution.from_dict(data).resilience == []
+
+
+# ----------------------------------------------------------------------
+# scenario-library sampling
+# ----------------------------------------------------------------------
+
+
+def test_library_soak_samples_per_seed_and_records_names():
+    from repro.scenarios import SOAK_POOL, sample_scenario
+
+    report = short_soak(kind="library", seeds=(1, 2))
+    assert report.kind == "library"
+    expected = [sample_scenario(s).name for s in (1, 2)]
+    assert report.scenarios == expected
+    assert set(report.scenarios) <= set(SOAK_POOL)
+    for run, name in zip(report.runs, expected):
+        assert run["scenario"] == name
+        assert run["label"] == f"soak-{name}-seed{run['seed']}"
+    assert report.ok
+
+
+def test_pinned_scenario_soak_uses_that_scenario():
+    report = short_soak(kind="baseline_wordcount", seeds=(3,))
+    assert report.scenarios == ["baseline_wordcount"]
+    (run,) = report.runs
+    assert run["scenario"] == "baseline_wordcount"
+    assert run["ok"]
+
+
+def test_legacy_kind_soak_keeps_empty_scenario_names():
+    report = short_soak()
+    assert report.scenarios == [""]
+    (run,) = report.runs
+    assert run["scenario"] == ""
+
+
+def test_soak_rejects_unknown_kind():
+    import pytest as _pytest
+
+    from repro.errors import ConfigurationError
+
+    with _pytest.raises(ConfigurationError):
+        short_soak(kind="no-such-pipeline")
