@@ -80,6 +80,9 @@ class SpikeAttribution:
     #: fell into — spikes inside a degraded window are the overload the
     #: guard was already reacting to, not new hidden synchronization.
     resilience: List[str] = field(default_factory=list)
+    #: Compaction/scheduling policies of the compactions inside the
+    #: window — distinguishes mitigation-zoo members in the blame.
+    policies: List[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -96,6 +99,7 @@ class SpikeAttribution:
             "classification": self.classification,
             "faults": list(self.faults),
             "resilience": list(self.resilience),
+            "policies": list(self.policies),
         }
 
     @classmethod
@@ -104,6 +108,7 @@ class SpikeAttribution:
         data["window"] = tuple(data["window"])
         data.setdefault("faults", [])
         data.setdefault("resilience", [])
+        data.setdefault("policies", [])
         return cls(**data)
 
 
@@ -246,6 +251,7 @@ def detect(
         n_flush = n_comp = 0
         overlap_s = 0.0
         stages: List[str] = []
+        policies: List[str] = []
         if spans is not None:
             flushes = spans.spans(kind="flush", window=(w0, w1))
             compactions = spans.spans(kind="compaction", window=(w0, w1))
@@ -253,6 +259,9 @@ def detect(
             n_comp = len(compactions)
             overlap_s = spans.overlap_seconds("flush", "compaction", w0, w1)
             stages = sorted({s.stage for s in compactions if s.stage})
+            policies = sorted(
+                {getattr(s, "policy", "") for s in compactions} - {""}
+            )
         elif ct is not None and len(ct) > 1:
             dt = float(np.median(np.diff(ct)))
             mask = (ct >= w0) & (ct <= w1)
@@ -310,6 +319,7 @@ def detect(
                 classification=classification,
                 faults=fault_labels,
                 resilience=resilience_labels,
+                policies=policies,
             )
         )
 
@@ -421,6 +431,7 @@ def spans_from_trace(events) -> SpanLog:
                 end=e.ts + e.dur,
                 input_bytes=int(e.args.get("input_bytes", 0) or 0),
                 submit=e.ts - queue_delay,
+                policy=str(e.args.get("policy", "") or ""),
             )
         )
     return log

@@ -38,10 +38,14 @@ from .apps.wordcount_job import build_wordcount_job
 from .config import CheckpointConfig, ClusterConfig, CostModel
 from .core import (
     MitigationPlan,
+    OnlineAutoTuner,
     ShadowSyncDetector,
+    TunedConfig,
+    TuneReport,
     estimate_drain_time,
     recommend_compaction_threads,
     recommend_flush_threads,
+    tune,
 )
 from .experiments.parallel import RunSpec, run_grid, sweep
 from .experiments.profile import ProfileReport, profile_run
@@ -72,7 +76,14 @@ from .faults import (
     load_fault_plan,
     preset_plan,
 )
-from .lsm import LSMOptions, LSMStore
+from .lsm import (
+    CompactionPolicy,
+    LSMOptions,
+    LSMStore,
+    make_policy,
+    policy_names,
+    register_policy,
+)
 from .resilience import (
     CircuitBreaker,
     Deadline,
@@ -177,11 +188,20 @@ __all__ = [
     "HDD",
     "LSMOptions",
     "LSMStore",
+    # mitigation zoo (pluggable compaction/scheduling policies)
+    "CompactionPolicy",
+    "make_policy",
+    "policy_names",
+    "register_policy",
     # diagnosis & tuning
     "ShadowSyncDetector",
+    "OnlineAutoTuner",
     "estimate_drain_time",
     "recommend_flush_threads",
     "recommend_compaction_threads",
+    "tune",
+    "TunedConfig",
+    "TuneReport",
     # fault injection & recovery
     "FaultPlan",
     "FaultSpec",

@@ -5,7 +5,7 @@ from .allocation import (
     recommend_compaction_threads,
     recommend_flush_threads,
 )
-from .autotuner import OnlineAutoTuner
+from .autotuner import OnlineAutoTuner, TunedConfig, TuneReport, tune
 from .delay import DelayedCompactionPolicy, estimate_drain_time
 from .detector import ShadowSyncDetector, ShadowSyncFinding
 from .mitigation import MitigationPlan
@@ -17,6 +17,9 @@ __all__ = [
     "recommend_compaction_threads",
     "recommend_flush_threads",
     "OnlineAutoTuner",
+    "TunedConfig",
+    "TuneReport",
+    "tune",
     "DelayedCompactionPolicy",
     "estimate_drain_time",
     "ShadowSyncDetector",

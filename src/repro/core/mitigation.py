@@ -44,6 +44,10 @@ class MitigationPlan:
     flush_threads: Optional[int] = None
     #: Compaction pool size per node (None keeps the default of 16).
     compaction_threads: Optional[int] = None
+    #: Which registered compaction/scheduling policy the stores use
+    #: (the mitigation zoo of :mod:`repro.lsm.policies`); ``"reference"``
+    #: keeps the paper's RocksDB-leveled behavior.
+    compaction_policy: str = "reference"
 
     def __post_init__(self) -> None:
         if self.trigger_spread < 1:
@@ -54,6 +58,10 @@ class MitigationPlan:
             raise ConfigurationError("flush_threads must be >= 1")
         if self.compaction_threads is not None and self.compaction_threads < 1:
             raise ConfigurationError("compaction_threads must be >= 1")
+        # Lazy import: core must not depend on lsm at module load.
+        from ..lsm.policies import policy_class
+
+        policy_class(self.compaction_policy)
 
     # ------------------------------------------------------------------
     # canned configurations

@@ -38,6 +38,7 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
+from ..errors import ReproError
 from . import figures
 from .parallel import (
     CACHE_ENV,
@@ -285,6 +286,39 @@ def build_parser() -> argparse.ArgumentParser:
                                "checks (default 8)")
     sanitize.add_argument("--json", action="store_true",
                           help="dump the SanitizeReport as JSON")
+
+    tune = sub.add_parser(
+        "tune",
+        help="search the joint mitigation space (policy zoo × threshold "
+             "spread × delay × pool sizes) on a library scenario and "
+             "emit the tuned-config artifact + headline table",
+    )
+    tune.add_argument("--scenario", default="baseline_traffic",
+                      help="library scenario to tune (default "
+                           "baseline_traffic)")
+    tune.add_argument("--smoke", action="store_true",
+                      help="tiny grid + short runs (CI smoke)")
+    tune.add_argument("--duration", type=float, default=None,
+                      help="simulated seconds per run (default 200, "
+                           "smoke 60)")
+    tune.add_argument("--warmup", type=float, default=None,
+                      help="measurement warmup, seconds (default 40, "
+                           "smoke 20)")
+    tune.add_argument("--seed", type=int, default=1)
+    tune.add_argument("--policies", default=None,
+                      help="comma-separated policy subset (default: the "
+                           "whole registry)")
+    tune.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes (default serial; 0 = one "
+                           "per core)")
+    tune.add_argument("--shards", type=int, default=None, metavar="G",
+                      help="run every config as G cluster slices")
+    tune.add_argument("--no-cache", action="store_true",
+                      help="bypass the result cache")
+    tune.add_argument("--out", default=None, metavar="PATH",
+                      help="write the TunedConfig artifact JSON here")
+    tune.add_argument("--json", action="store_true",
+                      help="dump the full TuneReport as JSON")
     return parser
 
 
@@ -667,6 +701,53 @@ def _profile_command(args) -> int:
     return 0
 
 
+def _tune_command(args) -> int:
+    """Joint mitigation-space search; writes the artifact on request."""
+    from ..core.autotuner import tune
+
+    policies = (
+        [p.strip() for p in args.policies.split(",") if p.strip()]
+        if args.policies
+        else None
+    )
+    try:
+        with _cache_override(args.no_cache):
+            report = tune(
+                scenario=args.scenario,
+                duration_s=args.duration,
+                warmup_s=args.warmup,
+                seed=args.seed,
+                policies=policies,
+                smoke=args.smoke,
+                jobs=args.jobs,
+                shards=args.shards,
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.best.to_dict(), handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2, default=str)
+        print()
+    else:
+        print(report.render())
+        if args.out:
+            print(f"tuned-config artifact written to {args.out}")
+    if os.environ.get("REPRO_PERF_GATE") == "1":
+        # CI regression gate: the tuned winner must beat the paper plan.
+        if report.best.p999 >= report.best.paper_p999:
+            print(
+                f"perf gate: tuned p99.9 {report.best.p999 * 1e3:.2f} ms did "
+                f"not beat paper {report.best.paper_p999 * 1e3:.2f} ms",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _sanitize_command(args) -> int:
     """Run the runtime sanitizers on one benchmark; exit 1 on FAIL."""
     from ..sanitize import sanitize_experiment
@@ -794,6 +875,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sanitize":
         return _sanitize_command(args)
+
+    if args.command == "tune":
+        return _tune_command(args)
 
     if args.command == "run":
         if args.scenario is not None and args.experiment is not None:

@@ -38,6 +38,7 @@ class CheckpointedWordCount:
         topic: str = "lines",
         group: str = "wordcount",
         committer=None,
+        compaction_policy: str = "reference",
     ) -> None:
         if partitions < 1:
             raise SimulationError("need at least one partition")
@@ -62,6 +63,7 @@ class CheckpointedWordCount:
                 LSMOptions(
                     wal_enabled=wal_enabled,
                     write_buffer_size=write_buffer_kib * 1024,
+                    compaction_policy=compaction_policy,
                 ),
                 name=f"count/{p}",
             )

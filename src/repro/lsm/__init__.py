@@ -12,6 +12,14 @@ from .flush import FlushJob
 from .levels import CompactionPick, LevelManager
 from .memtable import TOMBSTONE, MemTable
 from .options import KiB, LSMOptions, MiB
+from .policies import (
+    DEFAULT_POLICY,
+    CompactionPolicy,
+    make_policy,
+    policy_class,
+    policy_names,
+    register_policy,
+)
 from .sstable import SSTable, merge_tables
 from .store import LSMStore, StoreStats
 
@@ -25,6 +33,12 @@ __all__ = [
     "KiB",
     "LSMOptions",
     "MiB",
+    "DEFAULT_POLICY",
+    "CompactionPolicy",
+    "make_policy",
+    "policy_class",
+    "policy_names",
+    "register_policy",
     "SSTable",
     "merge_tables",
     "LSMStore",

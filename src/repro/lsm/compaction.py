@@ -25,11 +25,22 @@ _compaction_ids = itertools.count(1)
 class CompactionJob:
     """One compaction of one :class:`~repro.lsm.levels.CompactionPick`."""
 
-    def __init__(self, store, pick: CompactionPick, created_at: float) -> None:
+    def __init__(
+        self,
+        store,
+        pick: CompactionPick,
+        created_at: float,
+        policy: str = "reference",
+    ) -> None:
         self.compaction_id = next(_compaction_ids)
         self.store = store
         self.pick = pick
         self.created_at = created_at
+        #: Which scheduling policy picked this job, and under which store
+        #: generation — millibottleneck attribution distinguishes zoo
+        #: members by these labels.
+        self.policy = policy
+        self.generation = 0
         self.output: Optional[SSTable] = None
 
     @property
@@ -53,6 +64,8 @@ class CompactionJob:
             "input_bytes": self.input_bytes,
             "files": self.input_files,
             "created_at": self.created_at,
+            "policy": self.policy,
+            "generation": self.generation,
         }
 
     def run(self, now: float = 0.0) -> SSTable:

@@ -142,14 +142,51 @@ class LevelManager:
         """True when the number of *idle* L0 files reaches the trigger."""
         if trigger is None:
             trigger = self.options.effective_l0_trigger()
-        idle = [t for t in self._levels[0] if t.table_id not in self._compacting]
-        return len(idle) >= trigger
+        return len(self.idle_l0()) >= trigger
+
+    def idle_l0(self) -> List[SSTable]:
+        """L0 tables not claimed by a running compaction, newest first."""
+        return [t for t in self._levels[0] if t.table_id not in self._compacting]
+
+    def l0_compaction_in_flight(self) -> bool:
+        """True while any L0 table is claimed by a running compaction.
+
+        Claimed inputs stay installed until :meth:`apply_compaction`,
+        so this is exactly "an L0→L1 merge is in flight" — the guard
+        partial-compaction policies use to keep L1 runs disjoint.
+        """
+        return self.level_claimed(0)
+
+    def level_claimed(self, level: int) -> bool:
+        """True while any table at *level* is claimed by a running compaction."""
+        return any(t.table_id in self._compacting for t in self._levels[level])
+
+    # -- the no-pick memo (shared by LevelManager and the policy layer)
+
+    def no_pick_memoized(self, trigger: int) -> bool:
+        """True when "nothing due at *trigger*" is known for this version."""
+        return self._no_pick_memo == (self._version, trigger)
+
+    def memoize_no_pick(self, trigger: int) -> None:
+        self._no_pick_memo = (self._version, trigger)
+
+    def claim(self, pick: CompactionPick) -> CompactionPick:
+        """Reserve *pick*'s inputs against concurrent compactions."""
+        for table in pick.inputs:
+            self._compacting.add(table.table_id)
+        # the claim set grew: new structure
+        self._version += 1
+        return pick
 
     def pick_compaction(self, trigger: Optional[int] = None) -> Optional[CompactionPick]:
-        """Choose the next compaction, or ``None`` when nothing is due.
+        """Choose and claim the next compaction, or ``None`` when
+        nothing is due.
 
         Priority mirrors RocksDB's leveled strategy: L0 file-count
-        pressure first, then the most over-sized deeper level.
+        pressure first, then the most over-sized deeper level.  This is
+        the ``reference`` policy of :mod:`repro.lsm.policies`; stores
+        route their picks through the policy layer, which builds on the
+        non-claiming helpers below.
 
         A "nothing due" answer is memoized against the structure
         version and the trigger in force — the poll after every flush
@@ -160,25 +197,46 @@ class LevelManager:
         effective = (
             trigger if trigger is not None else self.options.effective_l0_trigger()
         )
-        if self._no_pick_memo == (self._version, effective):
+        if self.no_pick_memoized(effective):
             return None
-        pick = self._pick_l0(effective)
+        pick = self.build_l0_pick(effective)
         if pick is None:
-            pick = self._pick_overflow()
+            level = self.peek_overflow_level()
+            if level is not None:
+                pick = self.build_level_pick(level)
         if pick is None:
-            self._no_pick_memo = (self._version, effective)
+            self.memoize_no_pick(effective)
             return None
-        # the pick claimed its inputs (_compacting grew): new structure
-        self._version += 1
-        return pick
+        return self.claim(pick)
 
-    def _pick_l0(self, trigger: Optional[int]) -> Optional[CompactionPick]:
+    def build_l0_pick(
+        self, trigger: Optional[int] = None, max_files: Optional[int] = None
+    ) -> Optional[CompactionPick]:
+        """The L0→L1 merge due at *trigger*, unclaimed, or ``None``.
+
+        ``max_files`` limits the merge to the *oldest* that many L0
+        files (vLSM-style partial compaction) — the oldest suffix keeps
+        newest-wins intact, because every remaining L0 file is newer
+        than everything that moved to L1.
+
+        Refuses while any compaction touching L0 or L1 is in flight:
+        two concurrent picks landing at L1 can emit overlapping runs
+        (the range closure skips claimed tables, so nothing else keeps
+        their outputs disjoint), and an overlapped L1 breaks the
+        first-match read path.
+        """
+        if self.level_claimed(0) or self.level_claimed(1):
+            return None
         if trigger is None:
             trigger = self.options.effective_l0_trigger()
-        idle = [t for t in self._levels[0] if t.table_id not in self._compacting]
+        idle = self.idle_l0()
         if len(idle) < trigger:
             return None
-        inputs = list(idle)
+        if max_files is not None and max_files < len(idle):
+            # idle is newest first: the oldest max_files live at the end
+            inputs = list(idle[len(idle) - max_files:])
+        else:
+            inputs = list(idle)
         # The merged output spans the *combined* key range of all L0
         # inputs, so every L1 run overlapping that combined range must
         # join — and pulling one in can extend the range further, so
@@ -191,33 +249,50 @@ class LevelManager:
             high = max(t.max_key for t in keyed)
             grew = False
             for table in self._levels[1]:
-                if table in inputs or table.table_id in self._compacting:
+                if table in inputs:
                     continue
                 if len(table) and table.min_key <= high and low <= table.max_key:
                     inputs.append(table)
                     grew = True
             if not grew:
                 break
-        for table in inputs:
-            self._compacting.add(table.table_id)
         return CompactionPick(inputs, 0, 1, reason="l0-trigger")
 
-    def _pick_overflow(self) -> Optional[CompactionPick]:
+    def overflow_ratio(self, level: int) -> float:
+        """``level_bytes / limit`` for a deeper level (0.0 when unlimited)."""
+        limit = self._limit_cache[level - 1]
+        return self.level_bytes(level) / limit if limit else 0.0
+
+    def overflow_ratios(self) -> List[Tuple[int, float]]:
+        """``(level, ratio)`` for every level that can source a compaction."""
+        return [
+            (level, self.overflow_ratio(level))
+            for level in range(1, self.num_levels - 1)
+        ]
+
+    def peek_overflow_level(self) -> Optional[int]:
+        """The most over-sized deeper level (ratio > 1), or ``None``."""
         worst_level = None
         worst_ratio = 1.0
         for level in range(1, self.num_levels - 1):
-            limit = self._limit_cache[level - 1]
-            ratio = self.level_bytes(level) / limit if limit else 0.0
+            ratio = self.overflow_ratio(level)
             if ratio > worst_ratio:
                 worst_level = level
                 worst_ratio = ratio
-        if worst_level is None:
+        return worst_level
+
+    def build_level_pick(self, level: int) -> Optional[CompactionPick]:
+        """An Ln→Ln+1 merge seeded at *level*'s oldest run, unclaimed,
+        or ``None``.
+
+        Refuses while any compaction touching *level* or ``level + 1``
+        is in flight — same disjointness argument as
+        :meth:`build_l0_pick`: a second pick landing at ``level + 1``
+        while the first is unfinished can emit an overlapping run.
+        """
+        if self.level_claimed(level) or self.level_claimed(level + 1):
             return None
-        candidates = [
-            t
-            for t in self._levels[worst_level]
-            if t.table_id not in self._compacting
-        ]
+        candidates = list(self._levels[level])
         if not candidates:
             return None
         # Compact the oldest run plus its overlap in the next level,
@@ -225,11 +300,7 @@ class LevelManager:
         # same range-closure rule as the L0 pick).
         seed = min(candidates, key=lambda t: t.created_at)
         inputs = [seed]
-        next_level = [
-            t
-            for t in self._levels[worst_level + 1]
-            if t.table_id not in self._compacting
-        ]
+        next_level = list(self._levels[level + 1])
         if not len(seed):
             # accounting-only seed: no key range — take the whole next
             # level so size bookkeeping stays conservative
@@ -248,10 +319,8 @@ class LevelManager:
                         grew = True
                 if not grew:
                     break
-        for table in inputs:
-            self._compacting.add(table.table_id)
         return CompactionPick(
-            inputs, worst_level, worst_level + 1, reason="size-overflow"
+            inputs, level, level + 1, reason="size-overflow"
         )
 
     def abandon_compaction(self, pick: CompactionPick) -> None:

@@ -16,7 +16,7 @@ the same names and defaults RocksDB uses where applicable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from ..errors import ConfigurationError
 
@@ -69,6 +69,15 @@ class LSMOptions:
     #: store instance.  The mitigation of §4.1 installs
     #: ``randomized_l0_trigger`` here; ``None`` keeps the static trigger.
     l0_trigger_policy: Optional[Callable[[], int]] = None
+    #: Which registered compaction/scheduling policy the store uses
+    #: (see :mod:`repro.lsm.policies`).  ``"reference"`` reproduces the
+    #: RocksDB-leveled behavior the paper studies; the mitigation zoo
+    #: registers stronger alternatives.
+    compaction_policy: str = "reference"
+    #: Constructor keyword arguments for the chosen policy (e.g.
+    #: ``{"max_l0_files": 2}`` for ``vlsm_partial``).  ``None`` uses
+    #: the policy's defaults.
+    compaction_policy_params: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         if self.write_buffer_size <= 0:
@@ -90,6 +99,14 @@ class LSMOptions:
                 "need l0_compaction_trigger <= l0_slowdown_trigger "
                 "<= l0_stop_trigger"
             )
+        # Lazy import: policies imports levels which imports options.
+        from .policies import policy_class
+
+        policy_class(self.compaction_policy)
+        if self.compaction_policy_params is not None and not isinstance(
+            self.compaction_policy_params, dict
+        ):
+            raise ConfigurationError("compaction_policy_params must be a dict")
 
     def effective_l0_trigger(self) -> int:
         """The L0 trigger in force, honoring a mitigation policy."""

@@ -27,6 +27,7 @@ from .flush import FlushJob
 from .levels import LevelManager
 from .memtable import TOMBSTONE, MemTable
 from .options import LSMOptions
+from .policies import CompactionPolicy, make_policy
 from .sstable import SSTable
 from .wal import WriteAheadLog
 
@@ -70,6 +71,12 @@ class LSMStore:
         self._active = MemTable(self.options.entry_overhead_bytes)
         self._frozen: List[MemTable] = []
         self.levels = LevelManager(self.options)
+        #: The compaction/scheduling policy (see :mod:`repro.lsm.policies`).
+        self.policy: CompactionPolicy = make_policy(
+            self.options.compaction_policy,
+            options=self.options,
+            params=self.options.compaction_policy_params,
+        )
         self.stats = StoreStats()
         self._closed = False
         self.wal: Optional[WriteAheadLog] = (
@@ -241,17 +248,24 @@ class LSMStore:
         return self.levels.l0_file_count
 
     def compaction_due(self) -> bool:
-        return self.levels.needs_l0_compaction() or (
-            self.levels.pick_compaction() is not None
-        )
+        """Non-claiming check: is compaction work plausibly available?"""
+        return self.policy.due(self.levels)
+
+    def install_compaction_policy(self, policy, params: Optional[dict] = None) -> CompactionPolicy:
+        """Switch this store to *policy* (a name or an instance)."""
+        if isinstance(policy, CompactionPolicy):
+            self.policy = policy
+        else:
+            self.policy = make_policy(policy, options=self.options, params=params)
+        return self.policy
 
     def pick_compaction(self, now: float = 0.0) -> Optional[CompactionJob]:
         """Reserve the next due compaction as a job, or ``None``."""
         self._check_open()
-        pick = self.levels.pick_compaction()
+        pick = self.policy.pick(self.levels, now=now)
         if pick is None:
             return None
-        job = CompactionJob(self, pick, created_at=now)
+        job = CompactionJob(self, pick, created_at=now, policy=self.policy.name)
         job.generation = self.generation
         return job
 
@@ -350,6 +364,9 @@ class LSMStore:
                     self._active.delete(record.key)
         self.generation += 1
         self.restore_count += 1
+        # Transient scheduler state (cursors, holds, token deficits)
+        # described the pre-crash timeline; the restored store starts clean.
+        self.policy.reset()
 
     def simulate_crash_and_recover(self) -> LSMStore:
         """Crash model: memtables are lost, SSTables survive, the WAL

@@ -102,6 +102,7 @@ class MetricsCollector:
                     end=job.end_time,
                     input_bytes=meta.get("input_bytes", 0),
                     submit=job.submit_time,
+                    policy=meta.get("policy", ""),
                 )
             )
 

@@ -31,6 +31,9 @@ class ActivitySpan:
     #: Bytes processed (memtable size for flush, input size for compaction).
     input_bytes: int = 0
     submit: Optional[float] = None
+    #: Compaction/scheduling policy that produced the job ("" for
+    #: flushes and pre-policy traces).
+    policy: str = ""
 
     @property
     def duration(self) -> float:

@@ -70,6 +70,11 @@ class LSMStateBackend:
             store.options.l0_compaction_trigger, rng
         )
         store.options.l0_trigger_policy = policy
+        # A non-default plan policy overrides the store's own; the
+        # default leaves per-store configuration (lsm options) in force.
+        plan_policy = getattr(self.mitigation, "compaction_policy", "reference")
+        if plan_policy != "reference" and store.policy.name != plan_policy:
+            store.install_compaction_policy(plan_policy)
 
     @property
     def delay_policy(self):
@@ -222,12 +227,21 @@ class LSMStateBackend:
         store = instance.store
         if store is None or store.closed:
             return 0
+        hold = store.policy.submission_hold(
+            self.sim.now, node=instance.node, store=store
+        )
+        if hold > 0:
+            # scheduling policy (flush-first, token bucket) defers the
+            # whole drain; re-check once the hold elapses
+            self.sim.schedule_after(hold, self.schedule_due_compactions, instance)
+            return 0
         scheduled = 0
         while True:
             compaction = store.pick_compaction(now=self.sim.now)
             if compaction is None:
                 break
             self._submit_compaction(instance, compaction)
+            store.policy.on_submitted(compaction, now=self.sim.now)
             scheduled += 1
             policy = store.options.l0_trigger_policy
             if policy is not None and hasattr(policy, "advance"):
@@ -286,6 +300,7 @@ class LSMStateBackend:
                 "instance": instance.index,
                 "input_bytes": input_bytes,
                 "files": compaction.input_files,
+                "policy": compaction.policy,
             },
         )
         node.compaction_pool.submit(job)

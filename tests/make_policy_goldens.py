@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Regenerate tests/data/policy_goldens.json after a deliberate change
+to a compaction/scheduling policy's behavior.
+
+Usage::
+
+    PYTHONPATH=src python tests/make_policy_goldens.py
+"""
+
+import json
+from pathlib import Path
+
+from test_lsm_policy_invariants import compute_policy_tails
+
+#: The library scenarios the golden table pins (one tail per policy).
+SCENARIOS = ("baseline_traffic", "baseline_wordcount")
+
+
+def main() -> None:
+    out = Path(__file__).parent / "data" / "policy_goldens.json"
+    golden = {name: compute_policy_tails(name) for name in SCENARIOS}
+    out.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    for name, tails in golden.items():
+        for policy, p999 in tails.items():
+            print(f"  {name:20s} {policy:14s} p99.9 = {p999 * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -107,3 +107,26 @@ def test_dispatch_stats_do_not_perturb_state():
     assert sum(count for count, _ in stats.values()) == (
         profiled.sim.events_fired
     )
+
+
+# ----------------------------------------------------------------------
+# the mitigation zoo is deterministic (slow lane: run with `-m slow`)
+# ----------------------------------------------------------------------
+
+
+from repro.core.mitigation import MitigationPlan  # noqa: E402
+from repro.lsm import policy_names  # noqa: E402
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("policy", policy_names())
+def test_policy_runs_are_digest_identical(policy):
+    """Two identical seeded runs under each zoo policy end in
+    bit-identical engine state."""
+    digests = []
+    for _ in range(2):
+        job = build_traffic_job(
+            seed=5, mitigation=MitigationPlan(compaction_policy=policy))
+        job.run(DURATION)
+        digests.append(_digest(job))
+    assert digests[0] == digests[1]

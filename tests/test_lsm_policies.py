@@ -1,0 +1,334 @@
+"""Unit tests for the mitigation zoo: registry, per-policy behavior,
+and the policy label threaded through jobs, spans and spike blame."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lsm import (
+    DEFAULT_POLICY,
+    KiB,
+    LSMOptions,
+    LSMStore,
+    make_policy,
+    policy_class,
+    policy_names,
+    register_policy,
+)
+from repro.lsm.levels import CompactionPick
+from repro.lsm.policies import CompactionPolicy
+from repro.lsm.sstable import SSTable
+
+SMALL = dict(
+    write_buffer_size=2 * KiB,
+    l0_compaction_trigger=2,
+    max_bytes_for_level_base=4 * KiB,
+)
+
+
+def make_store(policy, name="store", **params):
+    options = LSMOptions(compaction_policy=policy,
+                         compaction_policy_params=params or None, **SMALL)
+    return LSMStore(options, name=name)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_contains_the_zoo():
+    names = policy_names()
+    assert DEFAULT_POLICY == "reference"
+    for expected in ("reference", "vlsm_partial", "greedy_minor",
+                     "round_robin", "flush_first", "fair_tokens"):
+        assert expected in names
+    assert names == sorted(names)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigurationError, match="already registered"):
+        @register_policy("reference")
+        class Impostor(CompactionPolicy):  # pragma: no cover - never used
+            def choose(self, levels, trigger):
+                return None
+
+
+def test_unknown_policy_lists_available():
+    with pytest.raises(ConfigurationError, match="reference"):
+        policy_class("no_such_policy")
+    with pytest.raises(ConfigurationError, match="no_such_policy"):
+        make_policy("no_such_policy")
+
+
+def test_bad_params_raise_configuration_error():
+    with pytest.raises(ConfigurationError, match="bad params"):
+        make_policy("reference", params={"bogus_knob": 1})
+    with pytest.raises(ConfigurationError):
+        make_policy("vlsm_partial", params={"max_l0_files": 0})
+    with pytest.raises(ConfigurationError):
+        make_policy("flush_first", params={"hold_s": 0.0})
+    with pytest.raises(ConfigurationError):
+        make_policy("flush_first", params={"hold_s": 1.0, "max_hold_s": 0.5})
+    with pytest.raises(ConfigurationError):
+        make_policy("fair_tokens", params={"rate_mb_s": -1.0})
+
+
+def test_options_validate_policy_eagerly():
+    with pytest.raises(ConfigurationError):
+        LSMOptions(compaction_policy="no_such_policy", **SMALL)
+    with pytest.raises(ConfigurationError):
+        LSMOptions(compaction_policy_params="not-a-dict", **SMALL)
+
+
+def test_install_compaction_policy_by_name_and_instance():
+    store = make_store("reference")
+    store.install_compaction_policy("greedy_minor")
+    assert store.policy.name == "greedy_minor"
+    store.install_compaction_policy(make_policy("round_robin"))
+    assert store.policy.name == "round_robin"
+
+
+# ----------------------------------------------------------------------
+# per-policy behavior
+# ----------------------------------------------------------------------
+
+
+def _flush_n_l0_tables(store, n):
+    for r in range(n):
+        store.put(f"k{r}".encode(), b"x" * 64)
+        job = store.begin_flush(now=float(r))
+        store.finish_flush(job, now=float(r))
+
+
+def test_vlsm_partial_merges_oldest_suffix():
+    store = make_store("vlsm_partial", max_l0_files=2)
+    _flush_n_l0_tables(store, 4)
+    assert len(store.levels.idle_l0()) == 4
+    job = store.pick_compaction(now=10.0)
+    assert job is not None
+    pick = job.pick
+    assert pick.source_level == 0 and pick.target_level == 1
+    assert len(pick.inputs) == 2
+    # the two oldest L0 files merged; the two newest stay behind
+    merged = sorted(t.created_at for t in pick.inputs)
+    left = sorted(t.created_at for t in store.levels.idle_l0())
+    assert merged == [0.0, 1.0]
+    assert left == [2.0, 3.0]
+
+
+def test_vlsm_partial_defaults_limit_to_trigger():
+    store = make_store("vlsm_partial")
+    _flush_n_l0_tables(store, 5)
+    job = store.pick_compaction(now=10.0)
+    # trigger is 2 → partial merge of the 2 oldest, not all 5
+    assert len(job.pick.inputs) == 2
+
+
+class StubLevels:
+    """Just enough LevelManager surface for choose() unit tests."""
+
+    num_levels = 4
+
+    def __init__(self, l0=None, ratios=(), picks=()):
+        self._l0 = l0
+        self._ratios = list(ratios)
+        self._picks = dict(picks)
+
+    def build_l0_pick(self, trigger=None, max_files=None):
+        return self._l0
+
+    def overflow_ratios(self):
+        return list(self._ratios)
+
+    def overflow_ratio(self, level):
+        return dict(self._ratios).get(level, 0.0)
+
+    def peek_overflow_level(self):
+        over = [(r, lvl) for lvl, r in self._ratios if r > 1.0]
+        return max(over)[1] if over else None
+
+    def build_level_pick(self, level):
+        return self._picks.get(level)
+
+    def l0_compaction_in_flight(self):
+        return False
+
+
+def _pick(nbytes, source):
+    table = SSTable([(b"a", b"v")], nbytes, level=source)
+    return CompactionPick([table], source, source + 1, reason="test")
+
+
+def test_greedy_minor_runs_smallest_candidate_first():
+    policy = make_policy("greedy_minor")
+    levels = StubLevels(
+        l0=_pick(500, 0),
+        ratios=[(1, 1.5), (2, 2.0)],
+        picks={1: _pick(100, 1), 2: _pick(300, 2)},
+    )
+    chosen = policy.choose(levels, trigger=2)
+    assert chosen.source_level == 1 and chosen.input_bytes == 100
+
+
+def test_greedy_minor_ties_break_toward_shallower_level():
+    policy = make_policy("greedy_minor")
+    levels = StubLevels(
+        l0=_pick(100, 0),
+        ratios=[(1, 1.5)],
+        picks={1: _pick(100, 1)},
+    )
+    assert policy.choose(levels, trigger=2).source_level == 0
+
+
+def test_round_robin_cursor_walks_levels_and_resets():
+    policy = make_policy("round_robin")
+    levels = StubLevels(
+        l0=_pick(100, 0),
+        ratios=[(1, 1.5)],
+        picks={1: _pick(100, 1)},
+    )
+    assert policy.choose(levels, trigger=2).source_level == 0
+    assert policy.describe()["cursor"] == 1
+    assert policy.choose(levels, trigger=2).source_level == 1
+    assert policy.describe()["cursor"] == 2
+    # level 2 has no work: the cursor wraps back around to L0
+    assert policy.choose(levels, trigger=2).source_level == 0
+    policy.reset()
+    assert policy.describe()["cursor"] == 0 and policy.picks == 0
+
+
+def test_flush_first_holds_while_flushes_queued():
+    policy = make_policy("flush_first", params={"hold_s": 0.05,
+                                                "max_hold_s": 0.2})
+    node = SimpleNamespace(flush_pool=SimpleNamespace(backlog=0))
+    assert policy.submission_hold(0.0, node=node) == 0.0
+    node.flush_pool.backlog = 3
+    assert policy.submission_hold(1.0, node=node) == pytest.approx(0.05)
+    assert policy.submission_hold(1.1, node=node) == pytest.approx(0.05)
+    # anti-starvation: after max_hold_s of deferral the hold lifts
+    assert policy.submission_hold(1.25, node=node) == 0.0
+    # backlog drains → the episode resets and a new burst holds again
+    node.flush_pool.backlog = 0
+    assert policy.submission_hold(2.0, node=node) == 0.0
+    node.flush_pool.backlog = 1
+    assert policy.submission_hold(3.0, node=node) == pytest.approx(0.05)
+
+
+def test_fair_tokens_bucket_math():
+    policy = make_policy("fair_tokens", params={"rate_mb_s": 10.0,
+                                                "burst_mb": 5.0})
+    assert policy.submission_hold(0.0) == 0.0
+    policy.on_submitted(SimpleNamespace(input_bytes=15_000_000), now=0.0)
+    # 10 MB in deficit at 10 MB/s → a 1 s hold
+    assert policy.submission_hold(0.0) == pytest.approx(1.0)
+    # half the deficit refills after 0.5 s
+    assert policy.submission_hold(0.5) == pytest.approx(0.5)
+    assert policy.submission_hold(1.0) == 0.0
+    policy.on_submitted(SimpleNamespace(input_bytes=1_000_000), now=1.0)
+    policy.reset()
+    assert policy.submission_hold(1.0) == 0.0
+    assert policy.describe() == {"name": "fair_tokens",
+                                 "rate_mb_s": 10.0, "burst_mb": 5.0}
+
+
+def test_policy_reset_runs_on_checkpoint_restore():
+    store = make_store("round_robin")
+    _flush_n_l0_tables(store, 4)
+    job = store.pick_compaction(now=10.0)
+    assert job is not None and store.policy.picks == 1
+    store.finish_compaction(job, now=10.0)
+    snapshot = store.snapshot_state()
+    store.restore_from_checkpoint(snapshot)
+    assert store.policy.picks == 0
+
+
+# ----------------------------------------------------------------------
+# the policy label: job → span → spike blame (satellite: attribution)
+# ----------------------------------------------------------------------
+
+
+def test_compaction_job_carries_policy_and_generation():
+    store = make_store("greedy_minor")
+    _flush_n_l0_tables(store, 4)
+    job = store.pick_compaction(now=10.0)
+    assert job.policy == "greedy_minor"
+    args = job.trace_args()
+    assert args["policy"] == "greedy_minor"
+    assert args["generation"] == store.generation
+
+
+def test_collector_span_carries_policy_label():
+    from repro.metrics.collector import MetricsCollector
+    from repro.sim import JobPhase, ProcessorSharingResource, SimJob, \
+        SimThreadPool, Simulator
+
+    sim = Simulator(seed=1)
+    cpu = ProcessorSharingResource(sim, "cpu", 4.0)
+    pool = SimThreadPool(sim, "node0/compaction", 1)
+    collector = MetricsCollector()
+    collector.watch_pool(pool, "node0")
+    pool.submit(
+        SimJob(
+            "compaction-1",
+            "compaction",
+            [JobPhase(cpu, 1.0, demand=1.0)],
+            metadata={"stage": "s0", "instance": 0, "input_bytes": 10,
+                      "policy": "fair_tokens"},
+        )
+    )
+    sim.run()
+    (span,) = collector.spans.spans(kind="compaction")
+    assert span.policy == "fair_tokens"
+
+
+def test_spans_from_trace_reads_policy_arg():
+    from repro.analysis.millibottleneck import spans_from_trace
+    from repro.trace import TraceEvent
+
+    events = [
+        TraceEvent("compaction-1", "compaction", "X", 1.0, dur=0.5,
+                   tid="node0/compaction",
+                   args={"stage": "s0", "policy": "vlsm_partial"}),
+        TraceEvent("compaction-2", "compaction", "X", 1.2, dur=0.2,
+                   tid="node0/compaction", args={"stage": "s0"}),
+    ]
+    log = spans_from_trace(events)
+    assert [s.policy for s in log] == ["vlsm_partial", ""]
+
+
+def test_detect_blames_policies_inside_spike_window():
+    from repro.analysis.millibottleneck import detect
+    from repro.metrics.spans import ActivitySpan, SpanLog
+
+    times = [i * 0.1 for i in range(20)]
+    p999 = [0.1] * 20
+    p999[10] = 2.0  # one spike at t = 1.0
+    spans = SpanLog()
+    spans.add(ActivitySpan("flush", "f", "s0", 0, "node0", 0.8, 1.0))
+    spans.add(ActivitySpan("compaction", "c1", "s0", 0, "node0", 0.9, 1.1,
+                           policy="vlsm_partial"))
+    spans.add(ActivitySpan("compaction", "c2", "s0", 0, "node0", 0.95, 1.05,
+                           policy=""))
+    report = detect(times, p999, spans=spans, threshold=1.0)
+    (spike,) = report.spikes
+    assert spike.attributed
+    assert spike.policies == ["vlsm_partial"]
+
+
+def test_spike_attribution_roundtrip_and_back_compat():
+    from repro.analysis.millibottleneck import SpikeAttribution
+
+    spike = SpikeAttribution(
+        peak_time=1.0, peak_s=2.0, window=(0.5, 1.5), flush_spans=1,
+        compaction_spans=2, overlap_s=0.2, cpu_saturated_fraction=None,
+        checkpoint_index=0, policies=["vlsm_partial"],
+    )
+    data = spike.to_dict()
+    assert data["policies"] == ["vlsm_partial"]
+    assert SpikeAttribution.from_dict(data) == spike
+    # pre-policy artifacts deserialize with an empty blame list
+    legacy = dict(data)
+    del legacy["policies"]
+    assert SpikeAttribution.from_dict(legacy).policies == []

@@ -208,3 +208,24 @@ def test_cli_sanitize_command(capsys):
     report = json.loads(capsys.readouterr().out)
     assert report["ok"] is True
     assert report["race"]["divergent_windows"] == 0
+
+
+# ----------------------------------------------------------------------
+# the mitigation zoo is race-free (slow lane: run with `-m slow`)
+# ----------------------------------------------------------------------
+
+
+from repro.core.mitigation import MitigationPlan  # noqa: E402
+from repro.lsm import policy_names  # noqa: E402
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("policy", policy_names())
+def test_policy_matrix_is_sanitize_clean(policy):
+    """Schedule perturbation finds no divergence under any zoo policy."""
+    report = sanitize_experiment(
+        kind="wordcount", duration_s=16.0, window_s=2.0, seed=1,
+        mitigation=MitigationPlan(compaction_policy=policy),
+    )
+    assert report.ok, report.render()
+    assert report.race.events_fired[0] == report.race.events_fired[1]
