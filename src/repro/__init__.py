@@ -35,7 +35,7 @@ from .sim import Simulator
 from .storage import HDD, NVME_SSD, TMPFS, StorageProfile
 from .stream import ConstantSource, StageSpec, StreamJob, StreamJobResult
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "build_traffic_job",

@@ -83,6 +83,10 @@ class SpikeAttribution:
     #: Compaction/scheduling policies of the compactions inside the
     #: window — distinguishes mitigation-zoo members in the blame.
     policies: List[str] = field(default_factory=list)
+    #: Cluster-layer windows (``rebalance:...``, ``failover:...``,
+    #: ``scale-in:...``) overlapping the spike — elastic churn is a
+    #: *known* synchronization source, not hidden ShadowSync.
+    cluster: List[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -100,6 +104,7 @@ class SpikeAttribution:
             "faults": list(self.faults),
             "resilience": list(self.resilience),
             "policies": list(self.policies),
+            "cluster": list(self.cluster),
         }
 
     @classmethod
@@ -109,6 +114,7 @@ class SpikeAttribution:
         data.setdefault("faults", [])
         data.setdefault("resilience", [])
         data.setdefault("policies", [])
+        data.setdefault("cluster", [])
         return cls(**data)
 
 
@@ -199,6 +205,7 @@ def detect(
     per_checkpoint: Optional[Dict[int, Dict[str, int]]] = None,
     fault_windows: Sequence[Tuple[str, float, float]] = (),
     resilience_windows: Sequence[Tuple[str, float, float]] = (),
+    cluster_windows: Sequence[Tuple[str, float, float]] = (),
     threshold: Optional[float] = None,
     pad_s: float = 1.0,
     saturation: float = 0.95,
@@ -290,6 +297,9 @@ def detect(
         resilience_labels = sorted(
             {name for name, rs, re in resilience_windows if rs <= w1 and re >= w0}
         )
+        cluster_labels = sorted(
+            {name for name, cs, ce in cluster_windows if cs <= w1 and ce >= w0}
+        )
 
         attributed = (
             n_flush > 0
@@ -320,6 +330,7 @@ def detect(
                 faults=fault_labels,
                 resilience=resilience_labels,
                 policies=policies,
+                cluster=cluster_labels,
             )
         )
 
@@ -365,6 +376,7 @@ def analyze_result(
     if injector is not None:
         kwargs.setdefault("fault_windows", list(injector.windows))
     kwargs.setdefault("resilience_windows", result.resilience_windows)
+    kwargs.setdefault("cluster_windows", result.cluster_windows)
     return detect(
         times,
         p999,
@@ -400,6 +412,11 @@ def analyze_summary(summary, **kwargs) -> MillibottleneckReport:
         if end is not None
     )
     kwargs.setdefault("resilience_windows", resilience_windows)
+    cluster = getattr(summary, "cluster", None) or {}
+    kwargs.setdefault(
+        "cluster_windows",
+        [(label, start, end) for label, start, end in cluster.get("windows", [])],
+    )
     return detect(
         summary.fine_times,
         summary.fine_p999,

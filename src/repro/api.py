@@ -35,6 +35,14 @@ from .analysis.millibottleneck import (
 from .apps.join_job import build_join_job
 from .apps.traffic_job import build_traffic_job
 from .apps.wordcount_job import build_wordcount_job
+from .cluster import (
+    ClusterManager,
+    ClusterSpec,
+    MembershipEvent,
+    NodeSpec,
+    PhiAccrualDetector,
+    install_cluster,
+)
 from .config import CheckpointConfig, ClusterConfig, CostModel
 from .core import (
     MitigationPlan,
@@ -66,6 +74,9 @@ from .errors import OverloadError, RetryExhaustedError, WatchdogError
 from .experiments.report import render_series, render_table, render_tails
 from .experiments.summary import RunSummary, summarize_run
 from .faults import (
+    ALL_FAULT_KINDS,
+    CLUSTER_FAULT_KINDS,
+    FAULT_KINDS,
     CheckpointedWordCount,
     FaultInjector,
     FaultPlan,
@@ -202,7 +213,17 @@ __all__ = [
     "tune",
     "TunedConfig",
     "TuneReport",
+    # elastic cluster layer (membership, failover, migration)
+    "ClusterSpec",
+    "NodeSpec",
+    "MembershipEvent",
+    "ClusterManager",
+    "PhiAccrualDetector",
+    "install_cluster",
     # fault injection & recovery
+    "FAULT_KINDS",
+    "CLUSTER_FAULT_KINDS",
+    "ALL_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "FaultInjector",

@@ -1,0 +1,130 @@
+"""Deterministic phi-accrual failure detection.
+
+The detector keeps, per node, the history of heartbeat inter-arrival
+times and turns "how long has this node been silent" into a suspicion
+level *phi* — the negative log10 of the probability that a healthy
+node would be this late, under a normal model of its observed
+inter-arrival distribution (Hayashibara et al.).  ``phi >= threshold``
+flips the node to *suspected*; a later heartbeat flips it back.
+
+Simulated heartbeats are jitterless, so the sample stddev degenerates
+to zero and phi would be a step function; ``min_std_s`` regularizes it
+(the same trick Akka's implementation uses) so suspicion still builds
+gradually over roughly ``threshold`` standard deviations of silence.
+
+The detector itself owns no processes and never reads a wall clock —
+the :class:`~repro.cluster.coordinator.ClusterManager` drives it from
+one heartbeat-interval loop, which keeps detection fully deterministic
+and adds a single kernel event per interval.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["PhiAccrualDetector"]
+
+
+class PhiAccrualDetector:
+    """Per-node phi-accrual suspicion state."""
+
+    def __init__(
+        self,
+        interval_s: float,
+        threshold: float,
+        min_std_s: float,
+        window: int = 16,
+    ) -> None:
+        self.interval_s = interval_s
+        self.threshold = threshold
+        self.min_std_s = min_std_s
+        self.window = window
+        #: node name -> time of last heartbeat.
+        self._last: Dict[str, float] = {}
+        #: node name -> recent inter-arrival samples.
+        self._intervals: Dict[str, Deque[float]] = {}
+        #: node name -> time the node crossed the suspicion threshold.
+        self.suspected: Dict[str, float] = {}
+        #: Append-only log of suspicion flips for the run report.
+        self.transitions: List[dict] = []
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, now: float) -> None:
+        """Start tracking *name*; the registration counts as a heartbeat."""
+        self._last[name] = now
+        self._intervals[name] = deque(maxlen=self.window)
+
+    def deregister(self, name: str) -> None:
+        self._last.pop(name, None)
+        self._intervals.pop(name, None)
+        self.suspected.pop(name, None)
+
+    def tracked(self) -> List[str]:
+        return sorted(self._last)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def heartbeat(self, name: str, now: float) -> bool:
+        """Record a heartbeat from *name*.
+
+        Returns True when the heartbeat revives a suspected node (the
+        caller owns the revival side effects).
+        """
+        last = self._last.get(name)
+        if last is None:
+            self.register(name, now)
+            return False
+        if now > last:
+            self._intervals[name].append(now - last)
+        self._last[name] = now
+        if name in self.suspected:
+            since = self.suspected.pop(name)
+            self.transitions.append(
+                {"node": name, "event": "revive", "time": now,
+                 "suspected_for_s": now - since}
+            )
+            return True
+        return False
+
+    def phi(self, name: str, now: float) -> float:
+        """Current suspicion level of *name*."""
+        last = self._last.get(name)
+        if last is None:
+            return 0.0
+        silence = now - last
+        if silence <= 0:
+            return 0.0
+        intervals = self._intervals[name]
+        if intervals:
+            mean = sum(intervals) / len(intervals)
+            var = sum((x - mean) ** 2 for x in intervals) / len(intervals)
+            std = max(math.sqrt(var), self.min_std_s)
+        else:
+            mean = self.interval_s
+            std = self.min_std_s
+        # P(a healthy node is still silent after `silence`) under the
+        # normal model; floored so phi stays finite.
+        y = (silence - mean) / std
+        p_later = 0.5 * math.erfc(y / math.sqrt(2.0))
+        return -math.log10(max(p_later, 1e-300))
+
+    def check(self, name: str, now: float) -> Optional[float]:
+        """Evaluate *name*; on a fresh threshold crossing mark it
+        suspected and return the phi value, else return None."""
+        if name in self.suspected:
+            return None
+        value = self.phi(name, now)
+        if value < self.threshold:
+            return None
+        self.suspected[name] = now
+        self.transitions.append(
+            {"node": name, "event": "suspect", "time": now, "phi": value}
+        )
+        return value

@@ -14,6 +14,9 @@ Usage::
     python -m repro trace fig8 --chrome    # Perfetto-loadable trace file
     python -m repro soak                   # chaos-soak over the library
     python -m repro soak --kind windowed_join --seeds 1 2 3 --random
+    python -m repro soak --random --cluster  # node crash/flap/partition mix
+    python -m repro cluster show           # elastic_scale's ClusterSpec
+    python -m repro cluster run            # elastic run + ownership audit
     python -m repro compare                # baseline vs solution summary
     python -m repro cache info             # inspect the result cache
     python -m repro cache clear
@@ -206,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--random", action="store_true",
                       help="ignore --faults; generate a random FaultPlan "
                            "per seed (FaultPlan.random)")
+    soak.add_argument("--cluster", action="store_true",
+                      help="install the elastic cluster layer on every "
+                           "scenario run and let --random draw node-crash/"
+                           "flap/partition faults; the audit additionally "
+                           "requires resolved migrations and full "
+                           "partition ownership")
     soak.add_argument("--budget", type=float, default=25.0,
                       help="recovery budget after each fault window, "
                            "seconds (default 25)")
@@ -222,6 +231,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="bypass the on-disk result cache")
     soak.add_argument("--json", action="store_true",
                       help="dump the full SoakReport as JSON")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="elastic cluster layer: show a scenario's ClusterSpec or run "
+             "an elastic scenario and audit membership, migrations and "
+             "ownership (exit 1 on violations or unowned partitions)",
+    )
+    cluster.add_argument("action", choices=("show", "run"))
+    cluster.add_argument("scenario", nargs="?", default="elastic_scale",
+                         help="library scenario with a cluster layer "
+                              "(default elastic_scale)")
+    cluster.add_argument("--duration", type=float, default=200.0,
+                         help="simulated seconds (default 200)")
+    cluster.add_argument("--warmup", type=float, default=40.0,
+                         help="seconds excluded from measurement "
+                              "(default 40)")
+    cluster.add_argument("--seed", type=int, default=1)
+    cluster.add_argument("--no-cache", action="store_true",
+                         help="bypass the on-disk result cache")
+    cluster.add_argument("--json", action="store_true",
+                         help="dump the cluster report (show: the spec) "
+                              "as JSON")
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
@@ -583,6 +614,107 @@ def _run_scenario_command(args) -> int:
     return 0
 
 
+def _cluster_command(args) -> int:
+    """Show a scenario's ClusterSpec, or run it and audit the cluster."""
+    from ..errors import ConfigurationError
+    from ..scenarios import scenario
+
+    try:
+        spec = scenario(args.scenario)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if spec.cluster is None:
+        print(f"error: scenario {spec.name!r} has no cluster layer "
+              "(pick one with a 'cluster' section, e.g. elastic_scale)",
+              file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        payload = spec.cluster.to_dict()
+        if args.json:
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+            return 0
+        print(f"== cluster spec of {spec.name} ==")
+        print(f"heartbeat {payload['heartbeat_interval_s']}s, "
+              f"phi threshold {payload['phi_threshold']}, "
+              f"min std {payload['min_std_s']}s, "
+              f"window {payload['history_window']} samples")
+        print(f"migration: {payload['migration_bandwidth_mb_s']} MB/s, "
+              f"deadline {payload['transfer_deadline_s']}s, "
+              f"handover pause {payload['handover_pause_s']}s, "
+              f"max parallel {payload['max_parallel_migrations']}")
+        if payload.get("events"):
+            headers = ["action", "at [s]", "count"]
+            rows = [[e["action"], f"{e['at_s']:.1f}", e["count"]]
+                    for e in payload["events"]]
+            print(render_table(headers, rows))
+        else:
+            print("membership schedule: none (static unless faulted)")
+        return 0
+
+    settings = ExperimentSettings(
+        duration_s=args.duration, warmup_s=args.warmup, seed=args.seed
+    )
+    run_spec = RunSpec(
+        kind="scenario", scenario=spec, settings=settings,
+        label=f"cluster:{spec.name}",
+    )
+    with _cache_override(args.no_cache):
+        summary = run_grid([run_spec])[0]
+    report = summary.cluster or {}
+    if args.json:
+        json.dump(
+            {"scenario": spec.name, "tails": summary.tails,
+             "cluster": report,
+             "invariant_violations": summary.invariant_violations},
+            sys.stdout, indent=2, default=str,
+        )
+        print()
+    else:
+        print(f"== cluster run: {spec.name} ==")
+        nodes = report.get("nodes", {})
+        print(f"live {nodes.get('live', [])}  "
+              f"retired {nodes.get('retired', [])}  "
+              f"down {nodes.get('down', [])}")
+        migrations = report.get("migrations", [])
+        by_status: Dict[str, int] = {}
+        for record in migrations:
+            by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+        print(f"migrations: {len(migrations)} {by_status}  "
+              f"ownership flips: {report.get('ownership_flips', 0)}")
+        if report.get("windows"):
+            headers = ["window", "start [s]", "end [s]"]
+            rows = [[label, f"{start:.1f}", f"{end:.1f}"]
+                    for label, start, end in report["windows"]]
+            print(render_table(headers, rows))
+        print(render_tails({spec.name: summary.tails}))
+
+    failed = False
+    unowned = report.get("unowned_partitions") or []
+    if unowned:
+        print(f"UNOWNED PARTITIONS: {unowned}", file=sys.stderr)
+        failed = True
+    in_flight = report.get("in_flight_migrations", 0)
+    if in_flight:
+        print(f"UNRESOLVED MIGRATIONS: {in_flight}", file=sys.stderr)
+        failed = True
+    if summary.invariant_violations:
+        print(f"INVARIANT VIOLATIONS: {len(summary.invariant_violations)}",
+              file=sys.stderr)
+        for v in summary.invariant_violations[:10]:
+            print(f"  [{v['time']:.1f}s] {v['invariant']}: {v['message']}",
+                  file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    if not args.json:
+        print("cluster audit: PASS (single owner per partition, no lost "
+              "state, all migrations resolved)")
+    return 0
+
+
 def _soak_command(args) -> int:
     """Run the chaos-soak campaign; print verdicts; exit 1 on failure."""
     from ..errors import ConfigurationError
@@ -597,6 +729,7 @@ def _soak_command(args) -> int:
                 warmup_s=args.warmup,
                 faults=args.faults,
                 random_faults=args.random,
+                cluster=args.cluster,
                 recovery_budget_s=args.budget,
                 recovery_ratio=args.ratio,
                 queue_limit_messages=args.queue_limit,
@@ -866,6 +999,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "soak":
         return _soak_command(args)
+
+    if args.command == "cluster":
+        return _cluster_command(args)
 
     if args.command == "lint":
         return _lint_command(args)

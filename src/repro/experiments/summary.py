@@ -84,6 +84,10 @@ class RunSummary:
     #: guard mode windows, trips, shed counts, watchdog restarts,
     #: upload retries/sheds.
     resilience: Dict = field(default_factory=dict)
+    #: :meth:`ClusterManager.report` digest (``{}`` = static topology):
+    #: membership log, suspicions, migrations, ownership flips,
+    #: rebalance windows.
+    cluster: Dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # derived views
@@ -161,6 +165,7 @@ def summarize_run(result, settings, kind: str = "traffic",
     injector = getattr(result.job, "fault_injector", None)
     checker = getattr(result.job, "invariant_checker", None)
     controller = getattr(result.job, "resilience", None)
+    cluster_report = result.cluster_report
     return RunSummary(
         kind=kind,
         label=label,
@@ -198,4 +203,5 @@ def summarize_run(result, settings, kind: str = "traffic",
         fault_events=[] if injector is None else [dict(e) for e in injector.events],
         invariant_violations=[] if checker is None else checker.to_dicts(),
         resilience={} if controller is None else controller.report(),
+        cluster={} if cluster_report is None else cluster_report,
     )

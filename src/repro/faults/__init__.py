@@ -31,7 +31,9 @@ from .injector import FaultInjector
 from .invariants import INVARIANTS, InvariantChecker, InvariantViolation, invariant
 from .pipeline import CheckpointedWordCount
 from .plan import (
+    ALL_FAULT_KINDS,
     ALL_NODES,
+    CLUSTER_FAULT_KINDS,
     FAULT_KINDS,
     GLOBAL_KINDS,
     PRESET_PLANS,
@@ -43,7 +45,9 @@ from .plan import (
 )
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "ALL_NODES",
+    "CLUSTER_FAULT_KINDS",
     "FAULT_KINDS",
     "GLOBAL_KINDS",
     "INVARIANTS",

@@ -27,6 +27,17 @@ Fault semantics
     for the window; checkpoints that cannot finish in time abort.
 ``kafka_backpressure``
     The source rate is multiplied by ``factor`` (a throttled broker).
+``node_crash``
+    The cluster-layer crash: with a :class:`~repro.cluster.ClusterManager`
+    installed, the manager fences the node, the failure detector accrues
+    suspicion, and stateful partitions fail over to healthy nodes via
+    checkpoint transfer; without one, degrades to ``worker_crash``.
+``node_flap``
+    ``factor`` down/up cycles packed into the window — the pathological
+    membership churn case for the failure detector.
+``network_partition``
+    The node keeps running but its heartbeats (and any transfers
+    touching it) are cut off; a recorded no-op without a cluster layer.
 """
 
 from __future__ import annotations
@@ -191,6 +202,67 @@ class FaultInjector:
             self._recover(node, event)
 
         return recover
+
+    # ------------------------------------------------------------------
+    # cluster-layer faults (repro.cluster)
+    # ------------------------------------------------------------------
+
+    def _begin_node_crash(self, spec: FaultSpec, node, event: dict):
+        manager = getattr(self.job, "cluster_manager", None)
+        if manager is None:
+            # no cluster layer: classic crash-and-restore semantics
+            return self._begin_worker_crash(spec, node, event)
+        manager.begin_node_crash(node, event)
+
+        def recover() -> None:
+            manager.end_node_crash(node, event)
+
+        return recover
+
+    def _begin_node_flap(self, spec: FaultSpec, node, event: dict):
+        manager = getattr(self.job, "cluster_manager", None)
+        cycles = max(1, int(round(spec.factor)))
+        event["cycles"] = cycles
+        event["flaps"] = []
+        spawn(
+            self.sim,
+            self._flap_loop(spec, node, event, manager, cycles),
+            name=f"flap-{node.name}",
+        )
+        return None  # each cycle restores itself inside the window
+
+    def _flap_loop(self, spec: FaultSpec, node, event: dict,
+                   manager, cycles: int):
+        phase = spec.duration_s / (2 * cycles)
+        for cycle in range(cycles):
+            sub = {
+                "kind": "node_crash", "node": node.name, "cycle": cycle,
+                "start": self.sim.now, "end": None,
+            }
+            event["flaps"].append(sub)
+            if manager is not None:
+                manager.begin_node_crash(node, sub)
+                yield phase
+                manager.end_node_crash(node, sub)
+            else:
+                recover = self._begin_worker_crash(spec, node, sub)
+                yield phase
+                recover()
+            sub["end"] = self.sim.now
+            yield phase
+
+    def _begin_network_partition(self, spec: FaultSpec, node, event: dict):
+        manager = getattr(self.job, "cluster_manager", None)
+        if manager is None:
+            # heartbeats only exist in the cluster layer; nothing to cut
+            event["ignored"] = "no cluster layer installed"
+            return None
+        manager.begin_partition(node, event)
+
+        def heal() -> None:
+            manager.end_partition(node, event)
+
+        return heal
 
     def _recover(self, node, event: dict) -> None:
         coordinator = self.job.coordinator

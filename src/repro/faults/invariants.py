@@ -26,6 +26,16 @@ Registered invariants:
     target.  Deliberately *structural* only: L0 counts are allowed to
     pile up under a compaction stall — that is the scenario under test,
     not a bug.
+``single-owner-per-partition``
+    Every stage instance is hosted on exactly one node at every sample
+    time, its node pointer agrees with the host maps, and — when the
+    elastic cluster layer is installed — the coordinator's ownership
+    map matches reality and its ownership log is contiguous (each
+    flip's ``from`` is the previous flip's ``to``).
+``migration-no-lost-state``
+    Every completed state migration restored exactly the level
+    structure it shipped (shape digests match), and no transfer is
+    stuck past its deadline.  A no-op without the cluster layer.
 """
 
 from __future__ import annotations
@@ -279,3 +289,97 @@ def _lsm_consistency(checker: InvariantChecker, job):
                         {"store": store.name, "level": index,
                          "bytes": size, "limit": limit},
                     )
+
+
+@invariant("single-owner-per-partition")
+def _single_owner_per_partition(checker: InvariantChecker, job):
+    hosts: Dict[str, str] = {}
+    for stage in job.stages:
+        for node_name in sorted(stage.instances_by_node):
+            for instance in stage.instances_by_node[node_name]:
+                previous = hosts.get(instance.name)
+                if previous is not None:
+                    yield (
+                        f"partition {instance.name} hosted on both "
+                        f"{previous} and {node_name}",
+                        {"partition": instance.name,
+                         "hosts": [previous, node_name]},
+                    )
+                hosts[instance.name] = node_name
+                if instance.node.name != node_name:
+                    yield (
+                        f"partition {instance.name} host map says "
+                        f"{node_name} but the instance points at "
+                        f"{instance.node.name}",
+                        {"partition": instance.name, "host_map": node_name,
+                         "instance_node": instance.node.name},
+                    )
+        for instance in stage.instances:
+            if instance.name not in hosts:
+                yield (
+                    f"partition {instance.name} is hosted nowhere",
+                    {"partition": instance.name},
+                )
+    manager = getattr(job, "cluster_manager", None)
+    if manager is None:
+        return
+    for name in sorted(manager.owner):
+        host = hosts.get(name)
+        if host is not None and manager.owner[name] != host:
+            yield (
+                f"ownership map says {manager.owner[name]} owns {name} "
+                f"but it is hosted on {host}",
+                {"partition": name, "owner": manager.owner[name],
+                 "host": host},
+            )
+    last_to: Dict[str, str] = {}
+    for entry in manager.ownership_log:
+        partition = entry["partition"]
+        previous = last_to.get(partition)
+        if previous is not None and entry["from"] != previous:
+            yield (
+                f"ownership log for {partition} is discontiguous: flip "
+                f"from {entry['from']} but the previous owner was "
+                f"{previous}",
+                {"partition": partition, "from": entry["from"],
+                 "previous": previous, "time": entry["time"]},
+            )
+        last_to[partition] = entry["to"]
+
+
+@invariant("migration-no-lost-state")
+def _migration_no_lost_state(checker: InvariantChecker, job):
+    manager = getattr(job, "cluster_manager", None)
+    if manager is None:
+        return
+    now = job.sim.now
+    for record in manager.migrations:
+        shipped = record.get("digest_source")
+        restored = record.get("digest_restored")
+        intact = shipped == restored
+        if shipped == "cold":
+            # failover before the first checkpoint completed: nothing
+            # durable existed, so restoring an empty store IS lossless
+            intact = restored is None or restored == "empty" or (
+                set(restored.split("|")) <= {"0/0"}
+            )
+        if (record["status"] == "completed" and shipped is not None
+                and not intact):
+            yield (
+                f"migration #{record['id']} of {record['partition']} lost "
+                f"state: shipped {record['digest_source']} but restored "
+                f"{record.get('digest_restored')}",
+                {"migration": record["id"],
+                 "partition": record["partition"],
+                 "shipped": record["digest_source"],
+                 "restored": record.get("digest_restored")},
+            )
+        deadline = record.get("deadline")
+        if (record["status"] == "transferring" and deadline is not None
+                and now > deadline + 10.0):
+            yield (
+                f"migration #{record['id']} of {record['partition']} stuck "
+                f"in transfer {now - deadline:.1f}s past its deadline",
+                {"migration": record["id"],
+                 "partition": record["partition"], "deadline": deadline},
+            )

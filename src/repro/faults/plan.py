@@ -25,7 +25,9 @@ from ..errors import ConfigurationError
 from ..serialize import register
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "ALL_NODES",
+    "CLUSTER_FAULT_KINDS",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
@@ -35,7 +37,9 @@ __all__ = [
     "shrink_failing",
 ]
 
-#: Every fault kind the injector knows how to begin and end.
+#: The classic single-job fault kinds.  Kept stable on purpose: random
+#: plans draw from this tuple by default, so existing seeds keep
+#: producing byte-identical plans.
 FAULT_KINDS = (
     "worker_crash",
     "flush_stall",
@@ -44,6 +48,19 @@ FAULT_KINDS = (
     "checkpoint_timeout",
     "kafka_backpressure",
 )
+
+#: Fault kinds targeting the elastic cluster layer (repro.cluster).
+#: Without an installed ClusterManager, ``node_crash``/``node_flap``
+#: degrade to classic worker-crash semantics and
+#: ``network_partition`` is a recorded no-op.
+CLUSTER_FAULT_KINDS = (
+    "node_crash",
+    "node_flap",
+    "network_partition",
+)
+
+#: Every fault kind the injector knows how to begin and end.
+ALL_FAULT_KINDS = FAULT_KINDS + CLUSTER_FAULT_KINDS
 
 #: Sentinel ``node`` value: the fault hits every node in the cluster.
 ALL_NODES = -1
@@ -69,13 +86,15 @@ class FaultSpec:
     node: int = 0
     #: Kind-specific intensity: bandwidth fraction for ``slow_disk``,
     #: source-rate multiplier for ``kafka_backpressure``, the timeout in
-    #: seconds for ``checkpoint_timeout``; unused by the other kinds.
+    #: seconds for ``checkpoint_timeout``, the down/up cycle count for
+    #: ``node_flap``; unused by the other kinds.
     factor: float = 0.5
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ConfigurationError(
-                f"unknown fault kind {self.kind!r}; expected one of {', '.join(FAULT_KINDS)}"
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(ALL_FAULT_KINDS)}"
             )
         if self.at_s < 0:
             raise ConfigurationError(f"fault at_s must be >= 0, got {self.at_s}")
@@ -158,6 +177,8 @@ class FaultPlan:
                 factor = round(rng.uniform(0.3, 2.0), 3)
             elif kind == "kafka_backpressure":
                 factor = round(rng.uniform(0.1, 1.5), 3)
+            elif kind == "node_flap":
+                factor = float(rng.randint(1, 3))
             else:
                 factor = round(rng.uniform(0.1, 0.9), 3)
             faults.append(FaultSpec(kind=kind, at_s=at_s, duration_s=duration,
@@ -211,6 +232,9 @@ PRESET_PLANS = (
     "backpressure",
     "chaos",
     "combined",
+    "node-crash",
+    "node-flap",
+    "net-partition",
 )
 
 
@@ -249,6 +273,16 @@ def preset_plan(name: str, at_s: float = 30.0, duration_s: float = 2.0,
             FaultSpec(kind="kafka_backpressure", at_s=at_s + 28.0,
                       duration_s=4.0, factor=0.5),
         )
+    elif name == "node-crash":
+        faults = (FaultSpec(kind="node_crash", at_s=at_s,
+                            duration_s=max(duration_s, 3.0), node=node),)
+    elif name == "node-flap":
+        faults = (FaultSpec(kind="node_flap", at_s=at_s,
+                            duration_s=max(duration_s, 6.0), node=node,
+                            factor=3.0),)
+    elif name == "net-partition":
+        faults = (FaultSpec(kind="network_partition", at_s=at_s,
+                            duration_s=max(duration_s, 4.0), node=node),)
     elif name == "combined":
         # sequential windows with recovery gaps between them — the soak
         # harness asserts the tail returns to baseline inside each gap

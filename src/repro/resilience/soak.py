@@ -16,9 +16,21 @@ audited:
   return to ``recovery_ratio`` × the pre-fault baseline (the p90 of the
   pre-fault coarse samples) within ``recovery_budget_s`` (measured to
   the next window at most);
-* **exactly-once** — zero invariant violations;
+* **exactly-once** — zero invariant violations, re-checked *per fault
+  window*: any accounting / ownership / migration-state violation after
+  a window opens fails that window specifically, so a rebalance that
+  loses records is attributed to its fault;
 * **no unshed blow-up** — the guard's sampled peak backlog stays under
-  ``queue_limit_messages``.
+  ``queue_limit_messages``;
+* **clean cluster state** (cluster soaks) — every migration resolved
+  (nothing stuck ``transferring``) and every partition owned at end of
+  run.
+
+``cluster=True`` runs each sampled scenario under a default
+:class:`~repro.cluster.ClusterSpec` (failure detector + failover, no
+membership schedule) and lets ``random_faults`` draw from
+:data:`~repro.faults.ALL_FAULT_KINDS`, so node-crash, node-flap and
+network-partition windows enter the soak mix.
 
 The verdicts come back as a :class:`SoakReport`;
 :meth:`SoakReport.require_pass` raises
@@ -36,6 +48,14 @@ from ..faults.plan import FaultPlan, load_fault_plan
 from .config import ResilienceConfig
 
 __all__ = ["SoakReport", "run_soak"]
+
+#: Invariants whose violation means records were lost or duplicated —
+#: the per-fault-window exactly-once audit checks exactly these.
+EXACTLY_ONCE_INVARIANTS = (
+    "record-accounting",
+    "single-owner-per-partition",
+    "migration-no-lost-state",
+)
 
 
 @dataclass
@@ -150,12 +170,23 @@ def _audit_summary(
             if baseline <= 0.0 or v <= ratio * baseline:
                 recovered_at = t
                 break
+        # Post-rebalance exactly-once: any accounting/ownership/migration
+        # violation from this window's start until the recovery horizon
+        # means the fault (and whatever failover it triggered) lost or
+        # duplicated records.
+        leaks = [
+            v
+            for v in summary.invariant_violations
+            if v["invariant"] in EXACTLY_ONCE_INVARIANTS
+            and event["start"] <= v["time"] <= horizon
+        ]
         window = {
             "label": "+".join(event["kinds"]),
             "start": event["start"],
             "end": end,
             "recovered_at": recovered_at,
             "budget_until": horizon,
+            "exactly_once": not leaks,
         }
         windows.append(window)
         if recovered_at is None:
@@ -163,6 +194,12 @@ def _audit_summary(
                 f"p99.9 did not return to {ratio:.2f}x baseline "
                 f"({baseline:.4f}s) within {budget_s:.1f}s after "
                 f"{window['label']} ended at {end:.1f}s"
+            )
+        if leaks:
+            failures.append(
+                f"exactly-once broken in/after {window['label']} window "
+                f"at {event['start']:.1f}s: "
+                + "; ".join(sorted({v["invariant"] for v in leaks}))
             )
 
     if summary.invariant_violations:
@@ -177,6 +214,24 @@ def _audit_summary(
             f"queue blow-up: peak backlog {max_queue:.0f} messages "
             f"exceeds limit {queue_limit:.0f}"
         )
+
+    cluster = getattr(summary, "cluster", None) or {}
+    if cluster:
+        stuck = [
+            m["id"]
+            for m in cluster.get("migrations", [])
+            if m.get("status") == "transferring"
+        ]
+        if stuck:
+            failures.append(
+                f"{len(stuck)} migration(s) never resolved "
+                f"(still transferring at end of run): {stuck}"
+            )
+        unowned = cluster.get("unowned_partitions") or []
+        if unowned:
+            failures.append(
+                f"unowned partitions at end of run: {unowned}"
+            )
 
     return {
         "seed": summary.seed,
@@ -193,6 +248,8 @@ def _audit_summary(
             len(v) for v in (resilience.get("watchdog") or {}).values()
         ),
         "invariant_violations": len(summary.invariant_violations),
+        "migrations": len(cluster.get("migrations", [])),
+        "ownership_flips": cluster.get("ownership_flips", 0),
     }
 
 
@@ -204,6 +261,7 @@ def run_soak(
     faults: Union[str, dict, FaultPlan] = "combined",
     random_faults: bool = False,
     max_faults: int = 6,
+    cluster: bool = False,
     resilience: Union[ResilienceConfig, dict, bool, None] = True,
     recovery_budget_s: float = 25.0,
     recovery_ratio: float = 1.5,
@@ -228,6 +286,13 @@ def run_soak(
     default).  Runs execute through the parallel executor and result
     cache, so a repeated soak is a cache read.
 
+    ``cluster=True`` installs a default elastic cluster layer
+    (:class:`~repro.cluster.ClusterSpec`, no membership schedule) on
+    every scenario run and widens the random-fault kind pool to
+    :data:`~repro.faults.ALL_FAULT_KINDS`, so node crashes, flaps and
+    network partitions exercise detector-driven failover; the audit then
+    also requires every migration resolved and every partition owned.
+
     ``recovery_budget_s`` must cover the worst replay a fault can cause:
     a worker crash rewinds to the last completed checkpoint and replays
     up to one (degraded-stretched) checkpoint interval of input, which
@@ -245,8 +310,14 @@ def run_soak(
     names: List[str] = []
     for seed in seeds:
         if random_faults:
+            kinds = {}
+            if cluster:
+                from ..faults.plan import ALL_FAULT_KINDS
+
+                kinds = {"kinds": ALL_FAULT_KINDS}
             plan = FaultPlan.random(
-                seed=seed, duration_s=duration_s, max_faults=max_faults
+                seed=seed, duration_s=duration_s, max_faults=max_faults,
+                **kinds,
             )
         else:
             plan = load_fault_plan(faults)
@@ -257,6 +328,12 @@ def run_soak(
             spec = scenario(kind)
         else:
             spec = None
+        if spec is not None and cluster and spec.cluster is None:
+            from dataclasses import replace
+
+            from ..cluster.spec import ClusterSpec
+
+            spec = replace(spec, cluster=ClusterSpec())
         if spec is not None:
             names.append(spec.name)
             specs.append(

@@ -15,10 +15,13 @@ instead of hammering one pipeline.
 
 from __future__ import annotations
 
+import difflib
 import random
 from typing import List, Sequence
 
+from ..cluster.spec import ClusterSpec, MembershipEvent
 from ..errors import ConfigurationError
+from ..faults.plan import FaultPlan, FaultSpec
 from .spec import ScenarioSpec, WorkloadSpec
 
 __all__ = [
@@ -122,6 +125,37 @@ def _build_library() -> dict:
             workload=WorkloadSpec(arrival="constant", rate=60000.0),
             tenants=4,
         ),
+        ScenarioSpec(
+            name="elastic_scale",
+            app="traffic",
+            description=(
+                "Elastic 4->8->4 traffic pipeline under diurnal load: "
+                "four nodes join at 60s, four leave at 150s, and one "
+                "node crashes mid-run at 110s — every partition move is "
+                "a checkpoint-shipped migration audited for single "
+                "ownership and no lost state (repro.cluster)."
+            ),
+            workload=WorkloadSpec(
+                arrival="diurnal",
+                rate=60000.0,
+                period_s=240.0,
+                trough_factor=0.4,
+            ),
+            cluster=ClusterSpec(
+                events=(
+                    MembershipEvent(action="join", at_s=60.0, count=4),
+                    MembershipEvent(action="leave", at_s=150.0, count=4),
+                ),
+            ),
+            faults=FaultPlan(
+                name="elastic-mid-run-crash",
+                faults=(
+                    FaultSpec(
+                        kind="node_crash", at_s=110.0, duration_s=3.0, node=1
+                    ),
+                ),
+            ),
+        ),
     )
     return {entry.name: entry for entry in entries}
 
@@ -144,12 +178,19 @@ SOAK_POOL = (
 
 
 def scenario(name: str) -> ScenarioSpec:
-    """The library scenario registered under *name*."""
+    """The library scenario registered under *name*.
+
+    Unknown names raise :class:`ConfigurationError` with a
+    did-you-mean suggestion list, so CLI typos exit cleanly instead of
+    dumping a ``KeyError`` traceback.
+    """
     try:
         return SCENARIOS[name]
     except KeyError:
+        close = difflib.get_close_matches(name, sorted(SCENARIOS), n=3)
+        hint = f" (did you mean {', '.join(close)}?)" if close else ""
         raise ConfigurationError(
-            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+            f"unknown scenario {name!r}{hint}; available: {sorted(SCENARIOS)}"
         ) from None
 
 

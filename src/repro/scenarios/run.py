@@ -114,6 +114,12 @@ def execute_scenario(
     settings = DEFAULT_SETTINGS if settings is None else settings
     faults = spec.faults if faults is None else faults
     resilience = spec.resilience if resilience is None else resilience
+    if spec.cluster is not None and scale > 1:
+        raise ConfigurationError(
+            "cluster scenarios cannot be sharded: membership changes and "
+            "partition migrations couple the nodes, so a 1/scale slice is "
+            "not independent; run with scale=1"
+        )
     job = build_scenario_job(
         spec,
         seed=settings.seed,
@@ -121,6 +127,10 @@ def execute_scenario(
         tie_break=tie_break,
         scale=scale,
     )
+    if spec.cluster is not None:
+        from ..cluster import install_cluster
+
+        install_cluster(job, spec.cluster)
     if faults is not None:
         from ..faults import inject_faults
 
@@ -172,6 +182,11 @@ def scenario_shard_unit(spec: Union[ScenarioSpec, str, dict]):
     from ..apps.wordcount_job import WORDCOUNT_STAGES
 
     spec = resolve_scenario(spec)
+    if spec.cluster is not None:
+        raise ConfigurationError(
+            f"scenario {spec.name or '<ad hoc>'} uses the elastic cluster "
+            "layer and cannot be sharded"
+        )
     if spec.app == "wordcount":
         whole, what, stages = 16, "cores", WORDCOUNT_STAGES
     elif spec.app == "join":

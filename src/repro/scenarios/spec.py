@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Dict, Optional, Tuple, Union
 
+from ..cluster.spec import ClusterSpec
 from ..compat import keyword_only
 from ..core.mitigation import MitigationPlan
 from ..errors import ConfigurationError
@@ -174,6 +175,11 @@ class ScenarioSpec:
     tenants: int = 1
     #: Join-app buffering horizon (its state size is rate x window).
     window_s: float = 30.0
+    #: Elastic cluster layer (repro.cluster): membership schedule,
+    #: failure detector and migration pacing.  ``None`` = static
+    #: topology; serialized (and cache-keyed) only when set, so legacy
+    #: scenario keys are untouched.
+    cluster: Optional["ClusterSpec"] = None
 
     def __post_init__(self) -> None:
         if self.app not in APPS:
@@ -208,9 +214,15 @@ class ScenarioSpec:
             from ..resilience.config import DEFAULT_RESILIENCE
 
             object.__setattr__(self, "resilience", DEFAULT_RESILIENCE)
+        if isinstance(self.cluster, dict):
+            from ..cluster.spec import ClusterSpec
+
+            object.__setattr__(
+                self, "cluster", ClusterSpec.from_dict(self.cluster)
+            )
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "app": self.app,
             "description": self.description,
@@ -228,6 +240,11 @@ class ScenarioSpec:
             "tenants": self.tenants,
             "window_s": self.window_s,
         }
+        # only serialized when set: keeps every pre-cluster scenario's
+        # dict — and therefore its cache key — byte-identical
+        if self.cluster is not None:
+            payload["cluster"] = self.cluster.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> ScenarioSpec:

@@ -99,12 +99,20 @@ class StreamJob:
         #: determinism A/B test.
         self.coalesce_accounting = coalesce_accounting
         self._started = False
+        #: Set by repro.cluster.install_cluster(); None on static runs.
+        self.cluster_manager = None
+        #: Bumped on every topology mutation (node join, partition
+        #: relocation); the batched accounting loop rebuilds its
+        #: precomputed entries when it observes a new epoch.
+        self._topology_epoch = 0
 
         default_options = LSMOptions()
         flush_threads, compaction_threads = self.mitigation.pool_sizes(
             default_options.max_background_flushes,
             default_options.max_background_compactions,
         )
+        #: (flush, compaction) pool sizes, reused for nodes added mid-run.
+        self._pool_threads = (flush_threads, compaction_threads)
 
         # --- nodes -----------------------------------------------------
         self.nodes: List[WorkerNode] = [
@@ -319,6 +327,113 @@ class StreamJob:
                 return stage
         raise ConfigurationError(f"unknown stage {name!r}")
 
+    # ------------------------------------------------------------------
+    # elastic topology (driven by repro.cluster)
+    # ------------------------------------------------------------------
+
+    def add_worker_node(self, name: str, cores: int) -> WorkerNode:
+        """Add a fresh worker node mid-run (scale-out).
+
+        The node starts empty — :meth:`relocate_instance` moves
+        partitions onto it — and is watched by the metrics collector
+        like the initial fleet.
+        """
+        if any(node.name == name for node in self.nodes):
+            raise ConfigurationError(f"node {name!r} already exists")
+        node = WorkerNode(
+            self.sim,
+            name,
+            cores=cores,
+            storage=self.cluster.storage,
+            flush_threads=self._pool_threads[0],
+            compaction_threads=self._pool_threads[1],
+        )
+        self.nodes.append(node)
+        self.collector.watch_resource(node.cpu)
+        self.collector.watch_pool(node.flush_pool, node.name)
+        self.collector.watch_pool(node.compaction_pool, node.name)
+        self._topology_epoch += 1
+        return node
+
+    def _ensure_flow(self, stage: Stage, node: WorkerNode) -> FluidFlow:
+        """The stage's flow on *node*, created and attached on demand
+        (a stage newly placed on a node needs a processing lane)."""
+        flow = stage.flows.get(node.name)
+        if flow is not None:
+            return flow
+        spec = stage.spec
+        flow = FluidFlow(
+            self.sim,
+            name=f"{spec.name}@{node.name}",
+            work_per_message=self.cost.cpu_seconds_per_message
+            * spec.work_multiplier,
+            max_parallelism=1.0,
+        )
+        stage.flows[node.name] = flow
+        node.cpu.add_flow(flow)
+        index = self.stages.index(stage)
+        if self._consumers[index]:
+            flow.output_listeners.append(
+                lambda _rate, k=index: self._queue_downstream_update(k)
+            )
+        return flow
+
+    def _rebalance_flow_caps(self, node: WorkerNode) -> None:
+        """Re-split *node*'s processing slots over the stages it hosts
+        (the same cores × hosted/total rule as construction)."""
+        total = sum(
+            len(stage.instances_by_node.get(node.name, ()))
+            for stage in self.stages
+        )
+        for stage in self.stages:
+            hosted = len(stage.instances_by_node.get(node.name, ()))
+            flow = stage.flows.get(node.name)
+            if flow is None or hosted == 0 or total == 0:
+                continue
+            slots = node.cores * hosted / total
+            flow.max_parallelism = min(float(hosted), slots)
+        node.cpu.request_reallocation()
+
+    def relocate_instance(self, instance: StageInstance,
+                          dest: WorkerNode) -> float:
+        """Move *instance* to *dest* at the current event time.
+
+        Host maps, the instance's node pointer, per-node flows and slot
+        caps, and the stage's arrival split all change together.  When
+        the source node stops hosting the stage its flow is zeroed and
+        drained; the drained backlog (messages) is returned so the
+        caller can replay it on the destination.
+        """
+        stage = self.stage(instance.spec.name)
+        src = instance.node
+        if src is dest:
+            return 0.0
+        hosted = stage.instances_by_node.get(src.name, [])
+        if instance in hosted:
+            hosted.remove(instance)
+        src_emptied = not hosted
+        if src_emptied:
+            stage.instances_by_node.pop(src.name, None)
+        if instance in src.instances:
+            src.instances.remove(instance)
+        instance.node = dest
+        dest.host(instance)
+        stage.instances_by_node.setdefault(dest.name, []).append(instance)
+        self._ensure_flow(stage, dest)
+        drained = 0.0
+        if src_emptied:
+            flow = stage.flows.get(src.name)
+            if flow is not None:
+                flow.set_arrival_rate(0.0)
+                drained = flow.drop_backlog()
+        self._topology_epoch += 1
+        self._rebalance_flow_caps(src)
+        self._rebalance_flow_caps(dest)
+        self._refresh_arrival(self.stages.index(stage))
+        stage.update_blocked(src.name)
+        stage.update_blocked(dest.name)
+        return drained
+
     def expected_stage_rate(self, index: int) -> float:
         """Steady input rate of stage *index* given the source rate.
 
@@ -403,7 +518,15 @@ class StreamJob:
             return {
                 name: (frac if name == hot_name else rest) for name in hosting
             }
-        return {name: 1.0 / len(hosting) for name in hosting}
+        # weight by hosted instances — identical to the historical even
+        # split while hosting is uniform (counts/total rounds to the
+        # same double as 1/n when the true ratios are equal), and the
+        # correct keyed split once rebalancing makes hosting uneven
+        counts = {
+            name: len(stage.instances_by_node[name]) for name in hosting
+        }
+        total = sum(counts.values())
+        return {name: counts[name] / total for name in hosting}
 
     def _refresh_arrival(self, index: int) -> None:
         """Recompute stage *index*'s total input rate from its feeds and
@@ -512,10 +635,16 @@ class StreamJob:
         dt = self.accounting_dt
         sample = self.sample_real_state
         backend_flush = self.backend.flush_instance
+        epoch = self._topology_epoch
         tick = 0
         while True:
             yield dt
             tick += 1
+            if self._topology_epoch != epoch:
+                # a node joined or a partition moved: the precomputed
+                # flow/hosted-count references are stale — rebuild
+                entries = self._account_entries()
+                epoch = self._topology_epoch
             for (instance, store, flow, hosted, capacity, entry_bytes,
                  key_space, key_prefix, payload) in entries:
                 updates = flow.arrival_rate / hosted * dt
@@ -795,6 +924,18 @@ class StreamJobResult:
         controller = self.job.resilience
         return [] if controller is None else list(controller.windows)
 
+    @property
+    def cluster_report(self) -> Optional[dict]:
+        """The cluster layer's digest, or ``None`` when disabled."""
+        manager = self.job.cluster_manager
+        return None if manager is None else manager.report()
+
+    @property
+    def cluster_windows(self) -> List[tuple]:
+        """``(label, start, end)`` rebalance/failover spans (attribution)."""
+        manager = self.job.cluster_manager
+        return [] if manager is None else list(manager.windows)
+
     def millibottleneck_report(self, start: float = 0.0,
                                end: Optional[float] = None, **kwargs):
         """Run the §3 millibottleneck detector over this run's trace
@@ -847,4 +988,6 @@ class StreamJobResult:
             }
         if self.job.resilience is not None:
             summary["resilience"] = self.resilience_report
+        if self.job.cluster_manager is not None:
+            summary["cluster"] = self.cluster_report
         return summary

@@ -221,3 +221,62 @@ def test_run_requires_experiment_or_scenario(capsys):
 def test_run_unknown_scenario(capsys):
     assert main(["run", "--scenario", "nope"]) == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_scenarios_show_unknown_name_suggests_close_match(capsys):
+    assert main(["scenarios", "show", "elastic_scal"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err
+    assert "elastic_scale" in err
+
+
+def test_run_unknown_scenario_suggests_close_match(capsys):
+    assert main(["run", "--scenario", "baseline_trafic"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err
+    assert "baseline_traffic" in err
+
+
+def test_cluster_show_renders_spec(capsys):
+    assert main(["cluster", "show"]) == 0
+    out = capsys.readouterr().out
+    assert "== cluster spec of elastic_scale ==" in out
+    assert "phi threshold" in out
+    assert "join" in out and "leave" in out
+
+
+def test_cluster_show_json_roundtrips(capsys):
+    assert main(["cluster", "show", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [e["action"] for e in payload["events"]] == ["join", "leave"]
+    assert payload["phi_threshold"] > 0
+
+
+def test_cluster_rejects_scenarios_without_a_cluster_layer(capsys):
+    assert main(["cluster", "show", "baseline_traffic"]) == 2
+    assert "no cluster layer" in capsys.readouterr().err
+
+
+def test_cluster_rejects_unknown_scenario(capsys):
+    assert main(["cluster", "show", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cluster_run_audits_and_passes(capsys):
+    code = main(["cluster", "run", "--duration", "90", "--warmup", "20",
+                 "--no-cache"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "== cluster run: elastic_scale ==" in out
+    assert "cluster audit: PASS" in out
+    assert "rebalance:scale-out:+4" in out
+
+
+def test_cluster_run_json(capsys):
+    code = main(["cluster", "run", "--duration", "90", "--warmup", "20",
+                 "--no-cache", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scenario"] == "elastic_scale"
+    assert payload["invariant_violations"] == []
+    assert payload["cluster"]["unowned_partitions"] == []

@@ -1,0 +1,82 @@
+"""Unit tests for the phi-accrual failure detector (no simulator)."""
+
+from repro.cluster import PhiAccrualDetector
+
+
+def make_detector(**kwargs):
+    defaults = dict(interval_s=0.5, threshold=8.0, min_std_s=0.05, window=16)
+    defaults.update(kwargs)
+    return PhiAccrualDetector(**defaults)
+
+
+def feed_heartbeats(detector, name, start, count, interval):
+    detector.register(name, start)
+    now = start
+    for _ in range(count):
+        now += interval
+        detector.heartbeat(name, now)
+    return now
+
+
+def test_fresh_heartbeats_keep_phi_low():
+    detector = make_detector()
+    now = feed_heartbeats(detector, "n0", 0.0, 10, 0.5)
+    # just past one interval of silence: barely suspicious
+    assert detector.phi("n0", now + 0.5) < detector.threshold
+    assert detector.check("n0", now + 0.5) is None
+
+
+def test_silence_accrues_past_the_threshold():
+    detector = make_detector()
+    now = feed_heartbeats(detector, "n0", 0.0, 10, 0.5)
+    phi = detector.check("n0", now + 5.0)
+    assert phi is not None and phi >= detector.threshold
+    assert "n0" in detector.suspected
+    # the crossing is recorded once, not on every later check
+    assert detector.check("n0", now + 6.0) is None
+    (transition,) = detector.transitions
+    assert transition["event"] == "suspect" and transition["node"] == "n0"
+
+
+def test_phi_grows_monotonically_with_silence():
+    detector = make_detector()
+    now = feed_heartbeats(detector, "n0", 0.0, 10, 0.5)
+    values = [detector.phi("n0", now + silence)
+              for silence in (0.6, 1.0, 2.0, 4.0)]
+    assert values == sorted(values)
+    assert values[0] < values[-1]
+
+
+def test_heartbeat_revives_a_suspected_node():
+    detector = make_detector()
+    now = feed_heartbeats(detector, "n0", 0.0, 10, 0.5)
+    detector.check("n0", now + 5.0)
+    assert detector.heartbeat("n0", now + 6.0) is True
+    assert "n0" not in detector.suspected
+    events = [t["event"] for t in detector.transitions]
+    assert events == ["suspect", "revive"]
+    # a routine heartbeat is not a revival
+    assert detector.heartbeat("n0", now + 6.5) is False
+
+
+def test_min_std_regularizes_jitterless_heartbeats():
+    """Perfectly regular heartbeats have zero sample stddev; without the
+    floor, phi would jump straight from 0 to infinity."""
+    tight = make_detector(min_std_s=0.01)
+    loose = make_detector(min_std_s=0.5)
+    for detector in (tight, loose):
+        feed_heartbeats(detector, "n0", 0.0, 16, 0.5)
+    silence_at = 8.0 + 1.0
+    assert tight.phi("n0", silence_at) > loose.phi("n0", silence_at)
+
+
+def test_register_and_deregister_track_membership():
+    detector = make_detector()
+    detector.register("b", 0.0)
+    detector.register("a", 0.0)
+    assert detector.tracked() == ["a", "b"]
+    detector.check("a", 10.0)
+    detector.deregister("a")
+    assert detector.tracked() == ["b"]
+    assert "a" not in detector.suspected
+    assert detector.phi("a", 11.0) == 0.0
