@@ -87,6 +87,10 @@ class SpikeAttribution:
     #: ``scale-in:...``) overlapping the spike — elastic churn is a
     #: *known* synchronization source, not hidden ShadowSync.
     cluster: List[str] = field(default_factory=list)
+    #: Wait-for-graph sync-edge kinds (``checkpoint-barrier``,
+    #: ``compaction-during-checkpoint``, ...) whose blocked windows
+    #: overlap the spike — the shadow-sync audit's blame channel.
+    sync: List[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -105,6 +109,7 @@ class SpikeAttribution:
             "resilience": list(self.resilience),
             "policies": list(self.policies),
             "cluster": list(self.cluster),
+            "sync": list(self.sync),
         }
 
     @classmethod
@@ -115,6 +120,7 @@ class SpikeAttribution:
         data.setdefault("resilience", [])
         data.setdefault("policies", [])
         data.setdefault("cluster", [])
+        data.setdefault("sync", [])
         return cls(**data)
 
 
@@ -206,6 +212,7 @@ def detect(
     fault_windows: Sequence[Tuple[str, float, float]] = (),
     resilience_windows: Sequence[Tuple[str, float, float]] = (),
     cluster_windows: Sequence[Tuple[str, float, float]] = (),
+    sync_windows: Sequence[Tuple[str, float, float]] = (),
     threshold: Optional[float] = None,
     pad_s: float = 1.0,
     saturation: float = 0.95,
@@ -300,6 +307,9 @@ def detect(
         cluster_labels = sorted(
             {name for name, cs, ce in cluster_windows if cs <= w1 and ce >= w0}
         )
+        sync_labels = sorted(
+            {name for name, ss, se in sync_windows if ss <= w1 and se >= w0}
+        )
 
         attributed = (
             n_flush > 0
@@ -331,6 +341,7 @@ def detect(
                 resilience=resilience_labels,
                 policies=policies,
                 cluster=cluster_labels,
+                sync=sync_labels,
             )
         )
 

@@ -127,8 +127,14 @@ from .sanitize import (
     RaceReport,
     SanitizeReport,
     check_ordering,
+    SyncAuditReport,
+    SyncEdge,
+    SyncPrimitive,
+    SYNC_CATALOG,
+    analyze_sync,
     detect_races,
     findings_json,
+    findings_sarif,
     lint_paths,
     render_findings,
     sanitize_experiment,
@@ -276,6 +282,7 @@ __all__ = [
     "lint_paths",
     "render_findings",
     "findings_json",
+    "findings_sarif",
     "detect_races",
     "check_ordering",
     "sanitize_experiment",
@@ -283,6 +290,12 @@ __all__ = [
     "RaceReport",
     "OrderingReport",
     "SanitizeReport",
+    # hidden-synchronization analyzer
+    "analyze_sync",
+    "SyncAuditReport",
+    "SyncEdge",
+    "SyncPrimitive",
+    "SYNC_CATALOG",
 ]
 
 

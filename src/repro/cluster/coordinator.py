@@ -402,6 +402,9 @@ class ClusterManager:
                  "time": self.sim.now}
             )
             return
+        # Fencing IS the point: a suspected node must stop serving
+        # before ownership flips, so the block is the protocol.
+        # repro: allow[DS201] declared fence edge (cluster.fence)
         self._fence(name)
         node = self._node(name)
         stateful = [

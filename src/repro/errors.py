@@ -2,9 +2,26 @@
 
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class at an API boundary.
+
+:func:`did_you_mean` is the shared suggestion helper used wherever a
+user-supplied name (scenario, lint rule, policy) misses a registry: it
+turns the miss into a readable hint instead of a bare ``KeyError``.
 """
 
 from __future__ import annotations
+
+import difflib
+from typing import Iterable
+
+
+def did_you_mean(name: str, options: Iterable[str], n: int = 3) -> str:
+    """`` (did you mean a, b?)`` hint for *name* against *options*.
+
+    Returns an empty string when nothing is close enough, so callers
+    can append the result to an error message unconditionally.
+    """
+    close = difflib.get_close_matches(name, sorted(options), n=n)
+    return f" (did you mean {', '.join(close)}?)" if close else ""
 
 
 class ReproError(Exception):

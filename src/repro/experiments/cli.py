@@ -267,7 +267,44 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files or directories to lint (default: the "
                            "installed repro package)")
     lint.add_argument("--json", action="store_true",
-                      help="emit findings as a JSON report")
+                      help="emit findings as a JSON report (same as "
+                           "--format json)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default=None,
+                      help="output format: terminal text (default), the "
+                           "findings_json report, or SARIF 2.1.0 for code "
+                           "scanning")
+    lint.add_argument("--rules", metavar="RULE", nargs="+", default=None,
+                      help="restrict to these rules: IDs (DS201), slugs "
+                           "(hidden-blocking-call) or families (DS2xx)")
+
+    sync = sub.add_parser(
+        "sync",
+        help="hidden-synchronization audit: DS2xx static catalog check "
+             "plus a trace-grounded wait-for graph diffed against the "
+             "declared sync catalog (exit 1 on shadow edges or findings)",
+    )
+    sync.add_argument("--scenario", default="baseline_traffic",
+                      help="traced scenario for the dynamic half "
+                           "(default baseline_traffic)")
+    sync.add_argument("--duration", type=float, default=120.0,
+                      help="simulated seconds (default 120)")
+    sync.add_argument("--warmup", type=float, default=10.0)
+    sync.add_argument("--seed", type=int, default=1)
+    sync.add_argument("--trace-file", metavar="PATH", default=None,
+                      help="audit a pre-recorded JSONL trace instead of "
+                           "running the scenario")
+    sync.add_argument("--static-only", action="store_true",
+                      help="skip the traced run; DS2xx catalog check only")
+    sync.add_argument("--dynamic-only", action="store_true",
+                      help="skip the static half; wait-for graph only")
+    sync.add_argument("paths", nargs="*", metavar="PATH",
+                      help="source tree for the static half (default: the "
+                           "installed repro package)")
+    sync.add_argument("--no-cache", action="store_true",
+                      help="bypass the on-disk result cache")
+    sync.add_argument("--json", action="store_true",
+                      help="dump the audit report as JSON")
 
     profile = sub.add_parser(
         "profile",
@@ -783,8 +820,15 @@ def _lint_command(args) -> int:
     """Lint the given paths (default: this installed package)."""
     from pathlib import Path
 
-    from ..sanitize import findings_json, lint_paths, render_findings
+    from ..errors import ConfigurationError
+    from ..sanitize import (
+        findings_json,
+        findings_sarif,
+        lint_paths,
+        render_findings,
+    )
 
+    fmt = args.format or ("json" if args.json else "text")
     paths = [Path(p) for p in args.paths]
     if not paths:
         paths = [Path(__file__).resolve().parents[1]]
@@ -793,13 +837,64 @@ def _lint_command(args) -> int:
         for path in missing:
             print(f"error: no such path: {path}", file=sys.stderr)
         return 2
-    findings = lint_paths(paths)
-    if args.json:
+    try:
+        findings = lint_paths(paths, rules=args.rules)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if fmt == "json":
         json.dump(findings_json(findings), sys.stdout, indent=2)
+        print()
+    elif fmt == "sarif":
+        json.dump(findings_sarif(findings), sys.stdout, indent=2)
         print()
     else:
         print(render_findings(findings))
     return 1 if findings else 0
+
+
+def _sync_command(args) -> int:
+    """Run the hidden-synchronization audit; print the report."""
+    from pathlib import Path
+
+    from ..errors import AnalysisError, ConfigurationError
+    from ..sanitize import analyze_sync
+
+    if args.static_only and args.dynamic_only:
+        print("error: --static-only and --dynamic-only are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+    events = None
+    scenario = None if args.static_only else args.scenario
+    if args.trace_file is not None:
+        from ..trace import read_jsonl
+
+        try:
+            events = read_jsonl(args.trace_file)
+        except OSError as exc:
+            print(f"error: cannot read trace: {exc}", file=sys.stderr)
+            return 2
+    paths = [Path(p) for p in args.paths] or None
+    try:
+        with _cache_override(args.no_cache):
+            report = analyze_sync(
+                scenario=scenario,
+                duration_s=args.duration,
+                warmup_s=args.warmup,
+                seed=args.seed,
+                paths=paths,
+                events=events,
+                static=not args.dynamic_only,
+            )
+    except (AnalysisError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _profile_command(args) -> int:
@@ -1005,6 +1100,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "lint":
         return _lint_command(args)
+    if args.command == "sync":
+        return _sync_command(args)
 
     if args.command == "profile":
         return _profile_command(args)

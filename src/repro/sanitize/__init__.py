@@ -13,7 +13,11 @@ shrinking, soak audits):
   windowed state digests; divergence means hidden synchronization
   (``repro sanitize`` / :func:`repro.api.sanitize`);
 * :mod:`repro.sanitize.ordering` — cache-key and ``RunSummary``
-  insertion-order-independence checks.
+  insertion-order-independence checks;
+* :mod:`repro.sanitize.syncgraph` — the hidden-synchronization
+  analyzer: a declared sync-point catalog, project-aware DS2xx lint
+  rules over the static call graph, and a trace-grounded shadow-sync
+  audit (``repro sync`` / :func:`repro.api.analyze_sync`).
 
 :func:`sanitize_experiment` bundles the runtime pair for one benchmark.
 """
@@ -27,6 +31,7 @@ from ..serialize import register
 from .lint import (
     Finding,
     findings_json,
+    findings_sarif,
     lint_file,
     lint_paths,
     lint_source,
@@ -55,6 +60,16 @@ from .racedetect import (
     state_digest,
 )
 from .rules import RULES, Rule, RuleContext, rule
+from .syncgraph import (
+    SYNC_CATALOG,
+    SyncAuditReport,
+    SyncEdge,
+    SyncPrimitive,
+    analyze_sync,
+    build_project,
+    diff_against_catalog,
+    extract_wait_graph,
+)
 
 __all__ = [
     # lint
@@ -64,10 +79,20 @@ __all__ = [
     "lint_source",
     "render_findings",
     "findings_json",
+    "findings_sarif",
     "RULES",
     "Rule",
     "RuleContext",
     "rule",
+    # hidden-synchronization analyzer
+    "SYNC_CATALOG",
+    "SyncPrimitive",
+    "SyncEdge",
+    "SyncAuditReport",
+    "analyze_sync",
+    "build_project",
+    "extract_wait_graph",
+    "diff_against_catalog",
     # race detection
     "RaceReport",
     "RaceDivergence",

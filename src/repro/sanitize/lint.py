@@ -26,7 +26,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
+from ..errors import ConfigurationError, did_you_mean
 from .rules import RULES, Rule, RuleContext
+
+# Importing the subpackage registers the project-aware DS2xx rule
+# family into RULES alongside the DS1xx determinism rules.
+from . import syncgraph as _syncgraph  # noqa: E402,F401  (registration)
 
 __all__ = [
     "Finding",
@@ -35,6 +40,7 @@ __all__ = [
     "lint_source",
     "render_findings",
     "findings_json",
+    "findings_sarif",
 ]
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
@@ -103,21 +109,51 @@ def _is_suppressed(
 
 
 def _select_rules(rules: Optional[Iterable[str]]) -> List[Rule]:
+    """Resolve rule labels: IDs, slugs, or ``DS2xx`` family prefixes.
+
+    Unknown labels raise :class:`ConfigurationError` with a
+    did-you-mean hint instead of a bare ``KeyError``.
+    """
     if rules is None:
         return [RULES[rule_id] for rule_id in sorted(RULES)]
-    selected = []
+    selected: List[Rule] = []
+    chosen: Set[str] = set()
     for label in rules:
-        matches = [r for r in RULES.values() if r.matches(label)]
+        matches = [
+            RULES[rule_id] for rule_id in sorted(RULES)
+            if RULES[rule_id].matches(label)
+        ]
+        lowered = label.strip().lower()
+        if not matches and lowered.endswith("xx") and len(lowered) > 2:
+            prefix = lowered[:-2]
+            matches = [
+                RULES[rule_id] for rule_id in sorted(RULES)
+                if rule_id.lower().startswith(prefix)
+            ]
         if not matches:
-            raise KeyError(f"unknown lint rule {label!r}")
-        selected.extend(matches)
+            options = sorted(RULES) + sorted(r.name for r in RULES.values())
+            raise ConfigurationError(
+                f"unknown lint rule {label!r}{did_you_mean(label, options)}; "
+                f"available: {', '.join(sorted(RULES))}"
+            )
+        for match in matches:
+            if match.id not in chosen:
+                chosen.add(match.id)
+                selected.append(match)
     return selected
 
 
 def lint_source(
-    source: str, path: str = "<string>", rules: Optional[Iterable[str]] = None
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[str]] = None,
+    project=None,
 ) -> List[Finding]:
-    """Lint one source string; *path* labels the diagnostics."""
+    """Lint one source string; *path* labels the diagnostics.
+
+    *project* is the shared call graph when linting a whole tree; the
+    DS2xx rules build a single-file graph when it is absent.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -132,7 +168,7 @@ def lint_source(
                 hint="fix the syntax error; nothing else was checked",
             )
         ]
-    ctx = RuleContext(path, tree, source)
+    ctx = RuleContext(path, tree, source, project=project)
     allowed = _allowed_rules(source)
     findings: List[Finding] = []
     for rule in _select_rules(rules):
@@ -155,33 +191,90 @@ def lint_source(
     return findings
 
 
-def lint_file(path: Union[str, Path], rules: Optional[Iterable[str]] = None) -> List[Finding]:
+def _unreadable_finding(path: Path, exc: Exception) -> Finding:
+    """DS000-style diagnostic for a file the linter could not read."""
+    return Finding(
+        path=str(path),
+        line=1,
+        col=0,
+        rule_id="DS000",
+        rule_name="unreadable-file",
+        message=f"file cannot be read: {exc}",
+        hint="fix the encoding/permissions or exclude the file; "
+             "nothing was checked",
+    )
+
+
+def lint_file(
+    path: Union[str, Path],
+    rules: Optional[Iterable[str]] = None,
+    project=None,
+) -> List[Finding]:
     path = Path(path)
-    source = path.read_text(encoding="utf-8")
-    return lint_source(source, path=str(path), rules=rules)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [_unreadable_finding(path, exc)]
+    return lint_source(source, path=str(path), rules=rules, project=project)
 
 
 def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted, deduplicated list of
+    ``.py`` files (a file reachable both directly and via a parent
+    directory is linted once)."""
     files: List[Path] = []
+    seen: Set[Path] = set()
     for entry in paths:
         entry = Path(entry)
         if entry.is_dir():
-            files.extend(sorted(entry.rglob("*.py")))
+            candidates = sorted(entry.rglob("*.py"))
         elif entry.suffix == ".py":
-            files.append(entry)
+            candidates = [entry]
         else:
             raise FileNotFoundError(f"not a python file or directory: {entry}")
+        for path in candidates:
+            key = path.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            files.append(path)
     return files
 
 
 def lint_paths(
     paths: Sequence[Union[str, Path]], rules: Optional[Iterable[str]] = None
 ) -> List[Finding]:
-    """Lint every ``.py`` file under *paths* (files or directories)."""
+    """Lint every ``.py`` file under *paths* (files or directories).
+
+    The whole file set is indexed into one project call graph first, so
+    the project-aware DS2xx rules see cross-module call chains.
+    Unreadable and non-UTF-8 files produce a ``DS000`` diagnostic
+    instead of aborting the run.
+    """
+    from .syncgraph.callgraph import build_project
+
+    _select_rules(rules)  # validate labels before any file IO
     findings: List[Finding] = []
+    sources: List[tuple] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules=rules))
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(_unreadable_finding(path, exc))
+            continue
+        sources.append((path, text))
+    parsed = []
+    for path, text in sources:
+        try:
+            parsed.append((str(path), ast.parse(text, filename=str(path))))
+        except SyntaxError:
+            continue  # lint_source re-parses and reports DS000
+    project = build_project(parsed)
+    for path, text in sources:
+        findings.extend(
+            lint_source(text, path=str(path), rules=rules, project=project)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings
 
 
@@ -208,4 +301,70 @@ def findings_json(findings: Sequence[Finding]) -> dict:
         },
         "count": len(findings),
         "findings": [finding.to_dict() for finding in findings],
+    }
+
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def findings_sarif(findings: Sequence[Finding]) -> dict:
+    """SARIF 2.1.0 export (``repro lint --format sarif``).
+
+    GitHub code scanning ingests this shape directly, so lint findings
+    light up as PR annotations.
+    """
+    rule_ids = sorted(RULES)
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    driver_rules = [
+        {
+            "id": rule_id,
+            "name": RULES[rule_id].name,
+            "shortDescription": {"text": RULES[rule_id].summary},
+            "help": {"text": RULES[rule_id].hint},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id in rule_ids
+    ]
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {
+                "text": f"{finding.message} (hint: {finding.hint})"
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(finding.path).as_posix()
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in index:
+            result["ruleIndex"] = index[finding.rule_id]
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }

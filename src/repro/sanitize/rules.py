@@ -71,12 +71,20 @@ def rule(id: str, name: str, summary: str, hint: str):
 
 
 class RuleContext:
-    """Per-file state shared by every rule: the tree plus import aliases."""
+    """Per-file state shared by every rule: the tree plus import aliases.
 
-    def __init__(self, path: str, tree: ast.Module, source: str) -> None:
+    *project* is the shared :class:`~repro.sanitize.syncgraph.callgraph.
+    ProjectGraph` when linting a whole tree; the project-aware DS2xx
+    rules build a single-file graph on demand when it is ``None``.
+    """
+
+    def __init__(
+        self, path: str, tree: ast.Module, source: str, project=None
+    ) -> None:
         self.path = path
         self.tree = tree
         self.source = source
+        self.project = project
         #: Local name -> dotted origin ("np" -> "numpy",
         #: "perf_counter" -> "time.perf_counter").
         self.aliases: Dict[str, str] = {}

@@ -15,12 +15,11 @@ instead of hammering one pipeline.
 
 from __future__ import annotations
 
-import difflib
 import random
 from typing import List, Sequence
 
 from ..cluster.spec import ClusterSpec, MembershipEvent
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, did_you_mean
 from ..faults.plan import FaultPlan, FaultSpec
 from .spec import ScenarioSpec, WorkloadSpec
 
@@ -187,8 +186,7 @@ def scenario(name: str) -> ScenarioSpec:
     try:
         return SCENARIOS[name]
     except KeyError:
-        close = difflib.get_close_matches(name, sorted(SCENARIOS), n=3)
-        hint = f" (did you mean {', '.join(close)}?)" if close else ""
+        hint = did_you_mean(name, SCENARIOS)
         raise ConfigurationError(
             f"unknown scenario {name!r}{hint}; available: {sorted(SCENARIOS)}"
         ) from None

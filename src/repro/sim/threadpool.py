@@ -241,6 +241,9 @@ class SimThreadPool:
             return
         job.end_time = self.sim.now
         self._active.remove(job)
+        # Completion journal, not a work queue: metrics drain it once
+        # per run; it never feeds back into dispatch.
+        # repro: allow[DS205] append-only journal, no dispatch feedback
         self.completed_jobs.append(job)
         if self.tracer.enabled:
             queue_delay = job.queue_delay or 0.0

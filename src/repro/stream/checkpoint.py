@@ -134,6 +134,10 @@ class CheckpointCoordinator:
     def _loop(self):
         yield max(0.0, self.config.first_at_s - self.sim.now)
         while True:
+            # The periodic barrier is the paper's declared sync point
+            # (checkpoint.trigger in SYNC_CATALOG); this loop exists
+            # to exercise it.
+            # repro: allow[DS201] declared checkpoint barrier
             self.trigger()
             yield self.config.interval_s * self.interval_scale
 
@@ -210,6 +214,10 @@ class CheckpointCoordinator:
             self._complete(record)
             return record
         for instance in instances:
+            # Barrier semantics require every stateful instance to
+            # flush before acking; this is checkpoint.trigger's
+            # declared blocking edge (flush-block in the catalog).
+            # repro: allow[DS201] declared barrier flush (backend.flush)
             self.backend.flush_instance(
                 instance, reason="checkpoint", on_done=make_ack(instance)
             )

@@ -594,6 +594,10 @@ class StreamJob:
                 payload = b"x" * min(int(spec.state_entry_bytes) or 1, 1024)
                 store.put(key, payload)
             if store.memtable_full and instance.flush_in_flight == 0:
+                # Memtable-full flush is the LSM write path's own
+                # backpressure; deferring it would grow the memtable
+                # without bound.
+                # repro: allow[DS201] declared write-path backpressure
                 self.backend.flush_instance(instance, reason="memtable-full")
 
     def _account_entries(self) -> list:
@@ -664,6 +668,9 @@ class StreamJob:
                 if sample:
                     store.put(key_prefix + b"%d" % (tick % key_space), payload)
                 if store.memtable_full and instance.flush_in_flight == 0:
+                    # Same memtable-full backpressure as the
+                    # per-instance accounting loop.
+                    # repro: allow[DS201] declared write-path backpressure
                     backend_flush(instance, reason="memtable-full")
 
     def start_run(self) -> None:

@@ -68,8 +68,11 @@ class WorkerNode:
         self._crash_depth += 1
         for instance in self.instances:
             instance.crashed = True
+        # A crash must freeze the node's pools — the stall models the
+        # outage itself, not an accidental block.
+        # repro: allow[DS201] crash freeze is the modeled outage
         self.flush_pool.pause()
-        self.compaction_pool.pause()
+        self.compaction_pool.pause()  # repro: allow[DS201] same outage freeze
 
     def end_crash(self) -> None:
         """Bring the node back up (after state restore)."""

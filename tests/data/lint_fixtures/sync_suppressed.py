@@ -1,0 +1,60 @@
+"""The same planted DS2xx shapes, each with a justified allow comment."""
+
+import threading  # harness-side helper, not simulated
+
+
+class Pool:
+    def pause(self):
+        self.frozen = True
+
+
+class Driver:
+    def __init__(self, sim, pool):
+        self.pool = pool
+        sim.schedule(0.0, self.on_tick)
+
+    def on_tick(self):
+        self.freeze()
+
+    def freeze(self):
+        # repro: allow[DS201] test fixture models a deliberate freeze
+        self.pool.pause()
+
+
+def make_lock():
+    lock = threading.Lock()  # repro: allow[DS202] harness-only lock
+    lock.acquire()  # repro: allow[DS202] harness-only lock
+    return lock
+
+
+class Producer:
+    def emit(self, item):
+        item.shared_state = "hot"  # repro: allow[DS203] handoff by protocol
+
+
+class Consumer:
+    def take(self, item):
+        item.shared_state = "done"  # repro: allow[DS203] handoff by protocol
+
+
+class Forward:
+    def run(self, m):
+        m.alpha.acquire()  # repro: allow[DS202] fixture gate
+        # repro: allow[DS202,DS204] fixture order is never concurrent
+        m.beta.acquire()
+
+
+class Backward:
+    def run(self, m):
+        m.beta.acquire()  # repro: allow[DS202] fixture gate
+        # repro: allow[DS202,DS204] fixture order is never concurrent
+        m.alpha.acquire()
+
+
+class Sink:
+    def __init__(self, sim):
+        self.pending = []
+        sim.call_soon(self.on_item)
+
+    def on_item(self):
+        self.pending.append(1)  # repro: allow[DS205] drained every tick

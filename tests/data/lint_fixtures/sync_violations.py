@@ -1,0 +1,61 @@
+"""Planted DS2xx violations, one block per rule (see line asserts)."""
+
+import threading
+
+
+class Pool:
+    def pause(self):
+        self.frozen = True
+
+
+class Driver:
+    """DS201: blocking primitive reachable from a dispatch callback."""
+
+    def __init__(self, sim, pool):
+        self.pool = pool
+        sim.schedule(0.0, self.on_tick)
+
+    def on_tick(self):
+        self.freeze()
+
+    def freeze(self):
+        self.pool.pause()  # line 22: DS201
+
+
+def make_lock():
+    lock = threading.Lock()  # line 26: DS202 (real sync module)
+    lock.acquire()  # line 27: DS202 (undeclared vocab)
+    return lock
+
+
+class Producer:
+    def emit(self, item):
+        item.shared_state = "hot"  # line 33: DS203
+
+
+class Consumer:
+    def take(self, item):
+        item.shared_state = "done"  # line 38: DS203
+
+
+class Forward:
+    def run(self, m):
+        m.alpha.acquire()
+        m.beta.acquire()  # line 44: DS204 (second gate, order alpha<beta)
+
+
+class Backward:
+    def run(self, m):
+        m.beta.acquire()
+        m.alpha.acquire()  # line 50: DS204 (opposite order)
+
+
+class Sink:
+    """DS205: unbounded queue put inside an event callback."""
+
+    def __init__(self, sim):
+        self.pending = []
+        sim.call_soon(self.on_item)
+
+    def on_item(self):
+        self.pending.append(1)  # line 61: DS205

@@ -21,7 +21,10 @@ PACKAGE = Path(__file__).parents[1] / "src" / "repro"
 
 
 def test_rule_registry_is_complete():
-    assert sorted(RULES) == ["DS101", "DS102", "DS103", "DS104", "DS105"]
+    assert sorted(RULES) == [
+        "DS101", "DS102", "DS103", "DS104", "DS105",
+        "DS201", "DS202", "DS203", "DS204", "DS205",
+    ]
     for rule in RULES.values():
         assert rule.hint and rule.summary and rule.name
 
@@ -124,3 +127,83 @@ def test_cli_lint_json(capsys):
     assert main(["lint", str(VIOLATIONS), "--json"]) == 1
     report = json.loads(capsys.readouterr().out)
     assert report["count"] == 6
+
+
+def test_overlapping_paths_lint_each_file_once():
+    once = lint_paths([FIXTURES])
+    twice = lint_paths([FIXTURES, VIOLATIONS, FIXTURES])
+    assert [f.location for f in twice] == [f.location for f in once]
+
+
+def test_unreadable_file_reports_ds000(tmp_path):
+    bad = tmp_path / "latin.py"
+    bad.write_bytes(b"x = '\xe9'\n")  # not valid UTF-8
+    findings = lint_paths([bad])
+    assert [f.rule_id for f in findings] == ["DS000"]
+    assert findings[0].rule_name == "unreadable-file"
+    # A directory containing it still lints its healthy siblings.
+    good = tmp_path / "ok.py"
+    good.write_text("import time\nT = time.time()\n")
+    findings = lint_paths([tmp_path])
+    assert [(f.rule_id, Path(f.path).name) for f in findings] == [
+        ("DS000", "latin.py"), ("DS101", "ok.py"),
+    ]
+
+
+def test_unknown_rule_label_has_did_you_mean():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError) as exc:
+        lint_paths([CLEAN], rules=["DS10"])
+    assert "did you mean" in str(exc.value)
+
+
+def test_sarif_export_shape():
+    from repro.sanitize import findings_sarif
+
+    sarif = findings_sarif(lint_paths([VIOLATIONS]))
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert [r["id"] for r in driver["rules"]] == sorted(RULES)
+    assert len(run["results"]) == 6
+    first = run["results"][0]
+    assert first["ruleId"] == "DS101"
+    assert driver["rules"][first["ruleIndex"]]["id"] == "DS101"
+    region = first["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 15
+    assert json.loads(json.dumps(sarif)) == sarif
+
+
+def test_sarif_result_for_unregistered_rule_has_no_index():
+    from repro.sanitize import findings_sarif
+    from repro.sanitize.lint import lint_source as _ls
+
+    sarif = findings_sarif(_ls("def broken(:\n", "x.py"))
+    (result,) = sarif["runs"][0]["results"]
+    assert result["ruleId"] == "DS000"
+    assert "ruleIndex" not in result
+
+
+def test_cli_lint_format_sarif(capsys):
+    assert main(["lint", str(VIOLATIONS), "--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    assert len(sarif["runs"][0]["results"]) == 6
+
+
+def test_cli_lint_rules_filter(capsys):
+    assert main(["lint", str(VIOLATIONS), "--rules", "DS102", "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["count"] == 2
+    assert main(["lint", str(VIOLATIONS), "--rules", "DS2xx"]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(VIOLATIONS), "--rules", "bogus"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_cli_sync_static_only(capsys):
+    assert main(["sync", "--static-only", str(PACKAGE)]) == 0
+    out = capsys.readouterr().out
+    assert "shadow-sync audit: clean" in out

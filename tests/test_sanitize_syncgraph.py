@@ -1,0 +1,146 @@
+"""DS2xx rule family: positive fixtures, suppression, call-graph facts."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sanitize import RULES, lint_paths, lint_source, render_findings
+from repro.sanitize.lint import _select_rules
+from repro.sanitize.syncgraph import (
+    SYNC_CATALOG,
+    build_project,
+    declared_edge_kinds,
+    module_name_for,
+    primitives_by_method,
+)
+
+FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+SYNC_VIOLATIONS = FIXTURES / "sync_violations.py"
+SYNC_SUPPRESSED = FIXTURES / "sync_suppressed.py"
+PACKAGE = Path(__file__).parents[1] / "src" / "repro"
+
+
+@pytest.mark.parametrize(
+    "rule_id, lines",
+    [
+        ("DS201", [22]),
+        ("DS202", [26, 27, 43, 44, 49, 50]),
+        ("DS203", [33, 38]),
+        ("DS204", [44, 50]),
+        ("DS205", [61]),
+    ],
+)
+def test_planted_sync_violations(rule_id, lines):
+    findings = lint_paths([SYNC_VIOLATIONS], rules=[rule_id])
+    assert [f.line for f in findings] == lines, render_findings(findings)
+    assert all(f.rule_id == rule_id for f in findings)
+
+
+def test_ds201_carries_the_dispatch_chain_as_evidence():
+    (finding,) = lint_paths([SYNC_VIOLATIONS], rules=["DS201"])
+    assert "Driver.on_tick -> Driver.freeze" in finding.message
+    assert "threadpool.pause" in finding.message
+
+
+def test_suppressed_fixture_is_clean():
+    assert lint_paths([SYNC_SUPPRESSED]) == []
+
+
+def test_sync_rules_see_cross_module_chains(tmp_path):
+    """A callback registered in one module reaching a blocking call in
+    another is only visible with the shared project graph."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text(
+        "from .b import work\n\n"
+        "class Boot:\n"
+        "    def __init__(self, sim):\n"
+        "        sim.call_soon(self.on_start)\n\n"
+        "    def on_start(self):\n"
+        "        work(self)\n"
+    )
+    (pkg / "b.py").write_text(
+        "def work(owner):\n"
+        "    owner.backend.flush_instance(owner)\n"
+    )
+    findings = lint_paths([pkg], rules=["DS201"])
+    assert [f.rule_id for f in findings] == ["DS201"]
+    assert "Boot.on_start" in findings[0].message
+    # Linting b.py alone (no project) cannot prove reachability.
+    assert lint_paths([pkg / "b.py"], rules=["DS201"]) == []
+
+
+def test_module_name_resolution(tmp_path):
+    pkg = tmp_path / "top" / "inner"
+    pkg.mkdir(parents=True)
+    (tmp_path / "top" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("")
+    assert module_name_for(pkg / "mod.py") == "top.inner.mod"
+    assert module_name_for(pkg / "__init__.py") == "top.inner"
+
+
+def test_callgraph_resolves_local_alias():
+    source = (
+        "class A:\n"
+        "    def go(self):\n"
+        "        f = self.backend.flush_instance\n"
+        "        f(1)\n"
+    )
+    import ast
+
+    graph = build_project([("x.py", ast.parse(source))])
+    sites = [s for s in graph.calls.get("x.A.go", [])]
+    assert any(s.attr == "flush_instance" for s in sites)
+
+
+def test_catalog_is_internally_consistent():
+    names = [p.name for p in SYNC_CATALOG]
+    assert len(names) == len(set(names))
+    by_method = primitives_by_method()
+    assert by_method["trigger"].blocking
+    assert by_method["flush_instance"].owner == "LSMStateBackend"
+    # The paper's shadow edge is declared so the audit diff closes.
+    kinds = declared_edge_kinds()
+    assert kinds["compaction-during-checkpoint"] == (
+        "shadow.compaction-checkpoint"
+    )
+    assert kinds["checkpoint-barrier"] == "checkpoint.trigger"
+    for prim in SYNC_CATALOG:
+        assert prim.rationale, f"{prim.name} has no rationale"
+
+
+def test_repro_package_has_no_unsuppressed_sync_findings():
+    findings = lint_paths([PACKAGE], rules=["DS2xx"])
+    assert findings == [], render_findings(findings)
+
+
+def test_rule_family_selection():
+    assert [r.id for r in _select_rules(["DS2xx"])] == [
+        "DS201", "DS202", "DS203", "DS204", "DS205",
+    ]
+    assert [r.id for r in _select_rules(["DS1xx"])] == [
+        "DS101", "DS102", "DS103", "DS104", "DS105",
+    ]
+    assert [r.id for r in _select_rules(["hidden-blocking-call"])] == ["DS201"]
+    # Duplicates collapse, order of first mention wins.
+    assert [r.id for r in _select_rules(["DS202", "DS2xx"])] == [
+        "DS202", "DS201", "DS203", "DS204", "DS205",
+    ]
+
+
+def test_unknown_rule_suggests_neighbours():
+    with pytest.raises(ConfigurationError, match="did you mean"):
+        _select_rules(["DS2O1"])  # letter O for zero
+    with pytest.raises(ConfigurationError, match="hidden-blocking-call"):
+        _select_rules(["hidden-blocking-cal"])
+
+
+def test_single_file_project_graph_is_cached_across_rules():
+    source = SYNC_VIOLATIONS.read_text(encoding="utf-8")
+    findings = lint_source(source, str(SYNC_VIOLATIONS), rules=["DS2xx"])
+    assert {f.rule_id for f in findings} == {
+        "DS201", "DS202", "DS203", "DS204", "DS205",
+    }
